@@ -1,0 +1,80 @@
+// Table 6 + Figure 10 — data-driven micro-BS sleeping (§5.1).
+//
+// For every Country-1 city: average power per pixel with micro BSs
+// always on, with the sleeping policy driven by real traffic, and with
+// the policy driven by SpectraGAN synthetic traffic for the same (held-
+// out) city. Paper shape: both policies save 47-62% and track each other
+// closely across cities.
+
+#include "apps/power.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+struct CityPower {
+  std::string city;
+  apps::SleepingResult real;
+  apps::SleepingResult synthetic;
+  double always_on = 0.0;
+};
+
+const std::vector<CityPower>& fig10() {
+  static const std::vector<CityPower> result = [] {
+    const data::CountryDataset dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds =
+        bench::select_folds(dataset, 0);  // all nine cities, as in Fig. 10
+
+    std::vector<CityPower> rows;
+    for (const data::Fold& fold : folds) {
+      const data::City& city = dataset.cities[fold.test_index];
+      const geo::CityTensor real_eval =
+          city.traffic.slice_time(config.eval_offset, config.generate_steps);
+      const geo::CityTensor synthetic =
+          eval::generate_for_fold("SpectraGAN", base, dataset, fold, config);
+      CityPower row;
+      row.city = city.name;
+      row.real = apps::simulate_bs_sleeping(real_eval, real_eval);
+      row.synthetic = apps::simulate_bs_sleeping(synthetic, real_eval);
+      row.always_on = row.real.power_always_on;
+      rows.push_back(row);
+    }
+    return rows;
+  }();
+  return result;
+}
+
+void BM_Fig10_BsSleeping(benchmark::State& state) {
+  bench::run_once(state, [] { fig10(); });
+}
+BENCHMARK(BM_Fig10_BsSleeping)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  CsvWriter params({"BS type", "N_trx", "Pmax", "P0", "dP"});
+  const apps::BsPowerParams macro = apps::macro_bs_params();
+  const apps::BsPowerParams micro = apps::micro_bs_params();
+  params.add_row({"Macro", CsvWriter::num(macro.n_trx), CsvWriter::num(macro.p_max),
+                  CsvWriter::num(macro.p0), CsvWriter::num(macro.delta_p)});
+  params.add_row({"Micro", CsvWriter::num(micro.n_trx), CsvWriter::num(micro.p_max),
+                  CsvWriter::num(micro.p0), CsvWriter::num(micro.delta_p)});
+  eval::emit_table(params, "Table 6 — BS power consumption model", "table6_power_params.csv");
+
+  CsvWriter table({"City", "Always-on [W/px]", "Sleeping (real) [W/px]",
+                   "Sleeping (SpectraGAN) [W/px]", "Savings real", "Savings SpectraGAN"});
+  for (const CityPower& row : fig10()) {
+    table.add_row({row.city, CsvWriter::num(row.always_on, 4),
+                   CsvWriter::num(row.real.power_with_sleeping, 4),
+                   CsvWriter::num(row.synthetic.power_with_sleeping, 4),
+                   CsvWriter::num(row.real.savings_fraction, 3),
+                   CsvWriter::num(row.synthetic.savings_fraction, 3)});
+  }
+  eval::emit_table(table, "Fig. 10 — micro-BS sleeping power per unit area (COUNTRY 1)",
+                   "fig10_bs_sleeping.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

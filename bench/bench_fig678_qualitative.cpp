@@ -1,0 +1,117 @@
+// Figures 6, 7 and 8 — qualitative comparison of all methods.
+//
+// Fig. 6: FDAS output is spatiotemporally structureless (flat noisy
+//         series, random maps).
+// Fig. 7: time-averaged traffic maps for CITY C / D / H across methods
+//         (rendered as ASCII + written as CSV matrices).
+// Fig. 8: 3-week city-average series for CITY B per method.
+//
+// Generations come from the shared leave-one-city-out cache, so this
+// binary is cheap when bench_table2_country1 has already run.
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+const std::vector<std::string> kMethods = {"FDAS", "SpectraGAN", "Pix2Pix", "DoppelGANger",
+                                           "Conv{3D+LSTM}"};
+
+struct Qualitative {
+  data::CountryDataset dataset;
+  // method -> city index -> generated tensor (only for inspected cities).
+  std::map<std::string, std::map<std::size_t, geo::CityTensor>> generated;
+};
+
+const Qualitative& results() {
+  static const Qualitative q = [] {
+    Qualitative out;
+    out.dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds = data::leave_one_city_out(out.dataset);
+    // CITY B (series, Fig. 8), CITY C/D/H (maps, Figs. 6-7).
+    for (std::size_t index : {1u, 2u, 3u, 7u}) {
+      for (const std::string& method : kMethods) {
+        out.generated[method][index] =
+            eval::generate_for_fold(method, base, out.dataset, folds[index], config);
+      }
+    }
+    return out;
+  }();
+  return q;
+}
+
+void BM_Fig678_Qualitative(benchmark::State& state) {
+  bench::run_once(state, [] { results(); });
+}
+BENCHMARK(BM_Fig678_Qualitative)->Iterations(1)->Unit(benchmark::kSecond);
+
+// Writes Fig. 8's aligned per-method series.
+void multi_series_table_to_file(const std::vector<std::string>& names,
+                                const std::vector<std::vector<double>>& series) {
+  eval::multi_series_table(names, series).write("fig8_cityB_series.csv");
+}
+
+void write_map_csv(const geo::GridMap& map, const std::string& path) {
+  std::ofstream out(path);
+  for (long i = 0; i < map.height(); ++i) {
+    for (long j = 0; j < map.width(); ++j) {
+      if (j > 0) out << ',';
+      out << map.at(i, j);
+    }
+    out << '\n';
+  }
+}
+
+void report() {
+  const Qualitative& q = results();
+  const eval::EvalConfig config = bench::eval_config();
+
+  // Fig. 6a + 8: city-wide mean series for CITY B (index 1).
+  {
+    std::vector<std::string> names = {"real"};
+    std::vector<std::vector<double>> series;
+    series.push_back(q.dataset.cities[1]
+                         .traffic.slice_time(config.eval_offset, config.generate_steps)
+                         .space_average());
+    for (const std::string& method : kMethods) {
+      names.push_back(method);
+      series.push_back(q.generated.at(method).at(1).space_average());
+    }
+    multi_series_table_to_file(names, series);
+  }
+
+  // Fig. 7: time-averaged maps, CITY C (2), CITY D (3), CITY H (7).
+  for (std::size_t index : {2u, 3u, 7u}) {
+    const data::City& city = q.dataset.cities[index];
+    std::cout << "\n== Fig. 7 — " << city.name << " time-averaged maps ==\n";
+    std::cout << "[Data]\n"
+              << eval::ascii_map(
+                     city.traffic.slice_time(config.eval_offset, config.generate_steps)
+                         .time_average());
+    write_map_csv(city.traffic.slice_time(config.eval_offset, config.generate_steps)
+                      .time_average(),
+                  "fig7_" + std::to_string(index) + "_data.csv");
+    for (const std::string& method : kMethods) {
+      const geo::GridMap avg = q.generated.at(method).at(index).time_average();
+      std::cout << "[" << method << "]\n" << eval::ascii_map(avg);
+      std::string tag = method;
+      for (char& c : tag) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+      }
+      write_map_csv(avg, "fig7_" + std::to_string(index) + "_" + tag + ".csv");
+    }
+  }
+  std::cout << "(map CSVs: fig7_<city>_<method>.csv; series CSV: fig8_cityB_series.csv)\n";
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

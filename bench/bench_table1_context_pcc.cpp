@@ -1,0 +1,72 @@
+// Table 1 — Pearson correlation of each of the 27 context attributes with
+// the (time-averaged) traffic, mean ± std across the Country-1 cities.
+//
+// Paper shape to reproduce: Census / Continuous Urban / Cafe /
+// Restaurant / Shop strongly positive (0.4-0.6), Barren Lands and Sea
+// negative, Ports / Motorways near zero — and *no* attribute strong
+// enough for a univariate model, motivating the multi-attribute
+// conditioning of SpectraGAN.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "data/context.h"
+#include "metrics/correlation.h"
+
+namespace {
+
+using namespace spectra;
+
+struct PccStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+const std::vector<PccStats>& table1() {
+  static const std::vector<PccStats> result = [] {
+    const data::CountryDataset dataset = data::make_country1(bench::dataset_config());
+    std::vector<std::vector<double>> pccs(data::kNumContextChannels);
+    for (const data::City& city : dataset.cities) {
+      const geo::GridMap avg = city.traffic.time_average();
+      for (long c = 0; c < data::kNumContextChannels; ++c) {
+        geo::GridMap channel(city.height(), city.width());
+        for (long i = 0; i < city.height(); ++i) {
+          for (long j = 0; j < city.width(); ++j) channel.at(i, j) = city.context.at(c, i, j);
+        }
+        pccs[static_cast<std::size_t>(c)].push_back(metrics::pearson(channel, avg));
+      }
+    }
+    std::vector<PccStats> stats(data::kNumContextChannels);
+    for (long c = 0; c < data::kNumContextChannels; ++c) {
+      const std::vector<double>& values = pccs[static_cast<std::size_t>(c)];
+      PccStats& s = stats[static_cast<std::size_t>(c)];
+      for (double v : values) s.mean += v;
+      s.mean /= static_cast<double>(values.size());
+      for (double v : values) s.stddev += (v - s.mean) * (v - s.mean);
+      s.stddev = std::sqrt(s.stddev / static_cast<double>(values.size()));
+    }
+    return stats;
+  }();
+  return result;
+}
+
+void BM_Table1_ContextPcc(benchmark::State& state) {
+  bench::run_once(state, [] { table1(); });
+}
+BENCHMARK(BM_Table1_ContextPcc)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  CsvWriter table({"Contextual Attribute", "Mean", "Std"});
+  const auto& names = data::context_attribute_names();
+  for (long c = 0; c < data::kNumContextChannels; ++c) {
+    table.add_row({names[static_cast<std::size_t>(c)],
+                   CsvWriter::num(table1()[static_cast<std::size_t>(c)].mean, 3),
+                   CsvWriter::num(table1()[static_cast<std::size_t>(c)].stddev, 3)});
+  }
+  eval::emit_table(table, "Table 1 — context attribute PCC with traffic (COUNTRY 1)",
+                   "table1_context_pcc.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

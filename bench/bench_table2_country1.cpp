@@ -1,0 +1,53 @@
+// Table 2 — Average testing performance in COUNTRY 1 (§4.1.1).
+//
+// Leave-one-city-out over the nine Country-1 cities: each method trains
+// on eight cities' week-1 traffic + context and generates 3 weeks for the
+// held-out city; fidelity is scored against real weeks 2-4. Paper shape
+// to reproduce: SpectraGAN best or near-best on M-TV / AC-L1 / FVD,
+// Pix2Pix strong SSIM but worst temporal metrics, DoppelGANger weak SSIM,
+// Conv{3D+LSTM} intermediate, DATA bound best everywhere.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+const std::vector<std::string> kMethods = {"SpectraGAN", "Pix2Pix", "DoppelGANger",
+                                           "Conv{3D+LSTM}"};
+
+struct Table2Result {
+  std::vector<eval::MetricRow> per_city;
+  std::vector<eval::MetricRow> averaged;
+};
+
+const Table2Result& table2() {
+  static const Table2Result result = [] {
+    const data::CountryDataset dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds = bench::select_folds(dataset, 0);  // all 9 by default
+    Table2Result out;
+    out.per_city = bench::run_sweep(dataset, folds, kMethods, base, config);
+    out.averaged = eval::average_by_method(out.per_city);
+    return out;
+  }();
+  return result;
+}
+
+void BM_Table2_Country1(benchmark::State& state) {
+  bench::run_once(state, [] { table2(); });
+}
+BENCHMARK(BM_Table2_Country1)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  eval::emit_table(eval::metrics_table(table2().per_city, true, true),
+                   "Table 2 (per city) — COUNTRY 1 leave-one-city-out",
+                   "table2_country1_per_city.csv");
+  eval::emit_table(eval::metrics_table(table2().averaged, true),
+                   "Table 2 — Average testing performance in COUNTRY 1", "table2_country1.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

@@ -1,0 +1,53 @@
+// Table 3 — Average testing performance in COUNTRY 2 (§4.1.2).
+//
+// Same leave-one-city-out protocol over the four Country-2 cities
+// (different operator, different traffic statistics). FVD is omitted as
+// in the paper (too little data for reliable embeddings). Expected shape:
+// relative ordering consistent with Table 2 — SpectraGAN most reliable,
+// Pix2Pix weakest overall.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+const std::vector<std::string> kMethods = {"SpectraGAN", "Pix2Pix", "DoppelGANger",
+                                           "Conv{3D+LSTM}"};
+
+struct Result {
+  std::vector<eval::MetricRow> per_city;
+  std::vector<eval::MetricRow> averaged;
+};
+
+const Result& table3() {
+  static const Result result = [] {
+    const data::CountryDataset dataset = data::make_country2(bench::dataset_config());
+    eval::EvalConfig config = bench::eval_config();
+    config.compute_fvd = false;  // §4.1.2: FVD omitted for Country 2
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds = bench::select_folds(dataset, 0);  // all 4
+    Result out;
+    out.per_city = bench::run_sweep(dataset, folds, kMethods, base, config);
+    out.averaged = eval::average_by_method(out.per_city);
+    return out;
+  }();
+  return result;
+}
+
+void BM_Table3_Country2(benchmark::State& state) {
+  bench::run_once(state, [] { table3(); });
+}
+BENCHMARK(BM_Table3_Country2)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  eval::emit_table(eval::metrics_table(table3().per_city, false, true),
+                   "Table 3 (per city) — COUNTRY 2 leave-one-city-out",
+                   "table3_country2_per_city.csv");
+  eval::emit_table(eval::metrics_table(table3().averaged, false),
+                   "Table 3 — Average testing performance in COUNTRY 2", "table3_country2.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

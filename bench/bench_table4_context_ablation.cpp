@@ -1,0 +1,39 @@
+// Table 4 — Importance of wider spatial contexts (§4.2).
+//
+// SpectraGAN (context patch = 2x traffic patch) vs SpectraGAN- (pixel-
+// level context only). Expected shape: the wide-context model wins on
+// most metrics, most clearly on spatial fidelity (SSIM).
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+const std::vector<eval::MetricRow>& table4() {
+  static const std::vector<eval::MetricRow> result = [] {
+    const data::CountryDataset dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    // Ablation benches default to 3 folds (SPECTRA_FOLDS=0 for all 9).
+    const std::vector<data::Fold> folds = bench::select_folds(dataset, 3);
+    return eval::average_by_method(
+        bench::run_sweep(dataset, folds, {"SpectraGAN", "SpectraGAN-"}, base, config));
+  }();
+  return result;
+}
+
+void BM_Table4_ContextAblation(benchmark::State& state) {
+  bench::run_once(state, [] { table4(); });
+}
+BENCHMARK(BM_Table4_ContextAblation)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  eval::emit_table(eval::metrics_table(table4(), true),
+                   "Table 4 — Importance of wider spatial contexts",
+                   "table4_context_ablation.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

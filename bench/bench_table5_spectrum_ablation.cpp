@@ -1,0 +1,39 @@
+// Table 5 — Importance of the spectrum generator (§4.2).
+//
+// Full SpectraGAN vs Spec-only (no residual time generator), Time-only
+// (no spectrum generator) and Time-only+ (Time-only with an extra minmax
+// generator). Expected shape: the full hybrid wins across the metric
+// bundle; pure-time variants can match AC-L1 but lose on M-TV/FVD.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+const std::vector<eval::MetricRow>& table5() {
+  static const std::vector<eval::MetricRow> result = [] {
+    const data::CountryDataset dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds = bench::select_folds(dataset, 3);
+    return eval::average_by_method(bench::run_sweep(
+        dataset, folds, {"SpectraGAN", "Spec-only", "Time-only", "Time-only+"}, base, config));
+  }();
+  return result;
+}
+
+void BM_Table5_SpectrumAblation(benchmark::State& state) {
+  bench::run_once(state, [] { table5(); });
+}
+BENCHMARK(BM_Table5_SpectrumAblation)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  eval::emit_table(eval::metrics_table(table5(), true),
+                   "Table 5 — Importance of the spectrum generator",
+                   "table5_spectrum_ablation.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

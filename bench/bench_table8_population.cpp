@@ -1,0 +1,91 @@
+// Table 8 + Figure 11 — dynamic urban population tracking (§5.3).
+//
+// Eq. 8 applied to real vs SpectraGAN traffic for every Country-1 city;
+// PSNR (mean ± std over hourly maps) between the two population
+// cartographies. Paper shape: PSNR well above the 20 dB acceptability
+// threshold everywhere. Fig. 11: presence maps at five times of day for
+// a sample city (CITY H).
+
+#include <iostream>
+
+#include "apps/population.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+struct PopulationRow {
+  std::string city;
+  apps::TrackingComparison comparison;
+};
+
+struct Table8Data {
+  std::vector<PopulationRow> rows;
+  data::CountryDataset dataset;
+  geo::CityTensor city_h_real;
+  geo::CityTensor city_h_synth;
+};
+
+const Table8Data& table8() {
+  static const Table8Data result = [] {
+    Table8Data out;
+    out.dataset = data::make_country1(bench::dataset_config());
+    const eval::EvalConfig config = bench::eval_config();
+    const core::SpectraGanConfig base = bench::base_model_config();
+    const std::vector<data::Fold> folds = bench::select_folds(out.dataset, 0);
+    const apps::PopulationModelParams params = apps::default_population_params();
+
+    for (const data::Fold& fold : folds) {
+      const data::City& city = out.dataset.cities[fold.test_index];
+      const geo::CityTensor real_eval =
+          city.traffic.slice_time(config.eval_offset, config.generate_steps);
+      const geo::CityTensor synthetic =
+          eval::generate_for_fold("SpectraGAN", base, out.dataset, fold, config);
+      PopulationRow row;
+      row.city = city.name;
+      row.comparison = apps::compare_population_tracking(real_eval, synthetic,
+                                                         real_eval.steps(), 1, params);
+      out.rows.push_back(row);
+      if (city.name == "CITY H") {
+        out.city_h_real = real_eval;
+        out.city_h_synth = synthetic;
+      }
+    }
+    return out;
+  }();
+  return result;
+}
+
+void BM_Table8_Population(benchmark::State& state) {
+  bench::run_once(state, [] { table8(); });
+}
+BENCHMARK(BM_Table8_Population)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  CsvWriter table({"City", "PSNR mean [dB]", "PSNR std [dB]"});
+  for (const PopulationRow& row : table8().rows) {
+    table.add_row({row.city, CsvWriter::num(row.comparison.mean_psnr, 3),
+                   CsvWriter::num(row.comparison.std_psnr, 3)});
+  }
+  eval::emit_table(table, "Table 8 — population-tracking fidelity (PSNR, >20 dB acceptable)",
+                   "table8_population.csv");
+
+  // Fig. 11: presence maps at 5 times of day (CITY H when available).
+  if (table8().city_h_real.steps() > 0) {
+    const apps::PopulationModelParams params = apps::default_population_params();
+    for (long hour : {4L, 9L, 13L, 18L, 22L}) {
+      std::cout << "\n== Fig. 11 — CITY H presence at " << hour << ":00 ==\n";
+      std::cout << "[real-fed]\n"
+                << eval::ascii_map(apps::estimate_population(table8().city_h_real.frame(hour),
+                                                             hour, params));
+      std::cout << "[SpectraGAN-fed]\n"
+                << eval::ascii_map(apps::estimate_population(table8().city_h_synth.frame(hour),
+                                                             hour, params));
+    }
+  }
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

@@ -1,0 +1,96 @@
+// Tables 9 & 10 and Figure 12 — traffic dataset characteristics
+// (Appendix A): per-city mean and median traffic over all grid cells
+// (both countries) and the spatiotemporal CDF of traffic per cell.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace spectra;
+
+struct CityStats {
+  std::string city;
+  double mean = 0.0;
+  double median = 0.0;
+};
+
+std::vector<CityStats> country_stats(const data::CountryDataset& dataset) {
+  std::vector<CityStats> stats;
+  for (const data::City& city : dataset.cities) {
+    CityStats s;
+    s.city = city.name;
+    std::vector<double> values = city.traffic.values();
+    for (double v : values) s.mean += v;
+    s.mean /= static_cast<double>(values.size());
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2),
+                     values.end());
+    s.median = values[values.size() / 2];
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+struct StatsData {
+  std::vector<CityStats> country1;
+  std::vector<CityStats> country2;
+  data::CountryDataset c1;
+  data::CountryDataset c2;
+};
+
+const StatsData& stats() {
+  static const StatsData result = [] {
+    StatsData out;
+    out.c1 = data::make_country1(bench::dataset_config());
+    out.c2 = data::make_country2(bench::dataset_config());
+    out.country1 = country_stats(out.c1);
+    out.country2 = country_stats(out.c2);
+    return out;
+  }();
+  return result;
+}
+
+void BM_DatasetStats(benchmark::State& state) {
+  bench::run_once(state, [] { stats(); });
+}
+BENCHMARK(BM_DatasetStats)->Iterations(1)->Unit(benchmark::kSecond);
+
+void report() {
+  CsvWriter t9({"City", "Mean", "Median"});
+  for (const CityStats& s : stats().country1) {
+    t9.add_row({s.city, CsvWriter::num(s.mean, 5), CsvWriter::num(s.median, 5)});
+  }
+  eval::emit_table(t9, "Table 9 — per-city traffic mean/median (COUNTRY 1)",
+                   "table9_country1_stats.csv");
+
+  CsvWriter t10({"City", "Mean", "Median"});
+  for (const CityStats& s : stats().country2) {
+    t10.add_row({s.city, CsvWriter::num(s.mean, 5), CsvWriter::num(s.median, 5)});
+  }
+  eval::emit_table(t10, "Table 10 — per-city traffic mean/median (COUNTRY 2)",
+                   "table10_country2_stats.csv");
+
+  // Fig. 12: spatiotemporal CDF per city, tabulated at fixed quantiles.
+  CsvWriter fig12({"city", "p10", "p25", "p50", "p75", "p90", "p99"});
+  auto add_cdf_rows = [&fig12](const data::CountryDataset& dataset) {
+    for (const data::City& city : dataset.cities) {
+      std::vector<double> values = city.traffic.values();
+      std::sort(values.begin(), values.end());
+      auto q = [&values](double p) {
+        return values[static_cast<std::size_t>(p * (values.size() - 1))];
+      };
+      fig12.add_row({city.name, CsvWriter::num(q(0.10), 5), CsvWriter::num(q(0.25), 5),
+                     CsvWriter::num(q(0.50), 5), CsvWriter::num(q(0.75), 5),
+                     CsvWriter::num(q(0.90), 5), CsvWriter::num(q(0.99), 5)});
+    }
+  };
+  add_cdf_rows(stats().c1);
+  add_cdf_rows(stats().c2);
+  eval::emit_table(fig12, "Fig. 12 — spatiotemporal traffic CDF quantiles per city",
+                   "fig12_cdf_quantiles.csv");
+}
+
+}  // namespace
+
+SG_BENCH_MAIN(report)

@@ -1,0 +1,112 @@
+// Inspection CLI for exported .sgt traffic tensors (the release format
+// written by eval::save_city_tensor and examples/unseen_city_generation):
+//
+//   sgt_inspect <file.sgt>                    summary stats + maps
+//   sgt_inspect <file.sgt> series <i> <j>     one pixel's series as CSV
+//   sgt_inspect <a.sgt> compare <b.sgt>       fidelity metrics A vs B
+//
+// Gives downstream users of a released synthetic dataset a zero-setup
+// way to sanity-check what they downloaded.
+
+#include <algorithm>
+#include <iostream>
+
+#include "dsp/spectrum.h"
+#include "eval/protocol.h"
+#include "eval/report.h"
+#include "metrics/autocorr_l1.h"
+#include "metrics/marginal.h"
+#include "metrics/ssim.h"
+#include "metrics/tstr.h"
+
+namespace {
+
+using namespace spectra;
+
+int usage() {
+  std::cerr << "usage: sgt_inspect <file.sgt> [series <row> <col> | compare <other.sgt>]\n";
+  return 2;
+}
+
+void print_summary(const geo::CityTensor& t) {
+  std::vector<double> values = t.values();
+  std::sort(values.begin(), values.end());
+  auto q = [&values](double p) {
+    return values[static_cast<std::size_t>(p * (values.size() - 1))];
+  };
+  CsvWriter table({"quantity", "value"});
+  table.add_row({"steps", std::to_string(t.steps())});
+  table.add_row({"height", std::to_string(t.height())});
+  table.add_row({"width", std::to_string(t.width())});
+  table.add_row({"mean", CsvWriter::num(t.values().empty() ? 0.0 : t.time_average().mean(), 5)});
+  table.add_row({"p50", CsvWriter::num(q(0.5), 5)});
+  table.add_row({"p90", CsvWriter::num(q(0.9), 5)});
+  table.add_row({"max", CsvWriter::num(values.back(), 5)});
+  eval::emit_table(table, "tensor summary", "");
+
+  std::cout << "\ntime-averaged map:\n" << eval::ascii_map(t.time_average());
+
+  // Dominant frequency bins of the city-average series.
+  const std::vector<double> series = t.space_average();
+  const std::vector<dsp::Complex> top = dsp::top_k_components(dsp::rfft(series), 6);
+  std::cout << "dominant frequency bins (cycles per tensor span): ";
+  for (std::size_t k = 0; k < top.size(); ++k) {
+    if (std::abs(top[k]) > 0.0) std::cout << k << " ";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::optional<geo::CityTensor> tensor = eval::load_city_tensor(argv[1]);
+  if (!tensor) {
+    std::cerr << "cannot read " << argv[1] << " (not a .sgt tensor?)\n";
+    return 1;
+  }
+
+  if (argc == 2) {
+    print_summary(*tensor);
+    return 0;
+  }
+
+  const std::string mode = argv[2];
+  if (mode == "series" && argc == 5) {
+    const long row = std::atol(argv[3]);
+    const long col = std::atol(argv[4]);
+    if (row < 0 || row >= tensor->height() || col < 0 || col >= tensor->width()) {
+      std::cerr << "pixel out of range\n";
+      return 1;
+    }
+    std::cout << render_table(
+        eval::series_table(tensor->pixel_series(row, col),
+                           "traffic(" + std::to_string(row) + "," + std::to_string(col) + ")"));
+    return 0;
+  }
+
+  if (mode == "compare" && argc == 4) {
+    const std::optional<geo::CityTensor> other = eval::load_city_tensor(argv[3]);
+    if (!other) {
+      std::cerr << "cannot read " << argv[3] << "\n";
+      return 1;
+    }
+    if (other->height() != tensor->height() || other->width() != tensor->width()) {
+      std::cerr << "tensors have different spatial shapes\n";
+      return 1;
+    }
+    const long steps = std::min(tensor->steps(), other->steps());
+    const geo::CityTensor a = tensor->slice_time(0, steps);
+    const geo::CityTensor b = other->slice_time(0, steps);
+    CsvWriter table({"metric", "value"});
+    table.add_row({"M-TV", CsvWriter::num(metrics::marginal_tv(a, b), 4)});
+    table.add_row({"SSIM", CsvWriter::num(metrics::ssim(a.time_average(), b.time_average()), 4)});
+    table.add_row(
+        {"AC-L1", CsvWriter::num(metrics::autocorr_l1(a, b, std::min<long>(168, steps - 1)), 4)});
+    table.add_row({"TSTR R2", CsvWriter::num(metrics::tstr_r2(b, a), 4)});
+    eval::emit_table(table, std::string(argv[1]) + " vs " + argv[3], "");
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, regenerate every paper table and
+# figure, and record outputs at the repo root. Generations are cached in
+# ./spectra_cache, so re-runs are cheap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "Done. Tables/figures: *.csv, summaries: bench_output.txt"

@@ -1,0 +1,60 @@
+#include "apps/population.h"
+
+#include <cmath>
+
+#include "metrics/psnr.h"
+#include "util/error.h"
+
+namespace spectra::apps {
+
+PopulationModelParams default_population_params() {
+  PopulationModelParams params;
+  // Diurnal activity per subscriber: low overnight, morning ramp, evening
+  // peak — the shape of [42]'s Fig. 8.
+  params.activity_by_hour = {0.6, 0.5, 0.45, 0.42, 0.45, 0.55, 0.8, 1.1, 1.35, 1.45, 1.5, 1.55,
+                             1.6, 1.55, 1.5, 1.5, 1.55, 1.7, 1.85, 1.9, 1.8, 1.5, 1.1, 0.8};
+  return params;
+}
+
+geo::GridMap estimate_population(const geo::GridMap& traffic_frame, long hour_of_day,
+                                 const PopulationModelParams& params) {
+  SG_CHECK(params.activity_by_hour.size() == 24, "activity curve must have 24 entries");
+  SG_CHECK(hour_of_day >= 0 && hour_of_day < 24, "hour_of_day out of range");
+  const double lambda = params.activity_by_hour[static_cast<std::size_t>(hour_of_day)];
+  const double scale = std::exp(params.k1 * lambda + params.k2);
+  const double exponent = params.k3 * lambda + params.k4;
+
+  geo::GridMap population(traffic_frame.height(), traffic_frame.width());
+  for (long p = 0; p < traffic_frame.size(); ++p) {
+    const double x = std::max(traffic_frame[p], 0.0);
+    population[p] = x > 0.0 ? scale * std::pow(x, exponent) : 0.0;
+  }
+  return population;
+}
+
+TrackingComparison compare_population_tracking(const geo::CityTensor& real,
+                                               const geo::CityTensor& synthetic, long steps,
+                                               long steps_per_hour,
+                                               const PopulationModelParams& params) {
+  SG_CHECK(real.height() == synthetic.height() && real.width() == synthetic.width(),
+           "real and synthetic tensors must share spatial shape");
+  SG_CHECK(steps <= real.steps() && steps <= synthetic.steps(), "steps out of range");
+  SG_CHECK(steps_per_hour >= 1, "steps_per_hour must be >= 1");
+
+  std::vector<double> psnrs;
+  for (long t = 0; t < steps; ++t) {
+    const long hour = (t / steps_per_hour) % 24;
+    const geo::GridMap p_real = estimate_population(real.frame(t), hour, params);
+    const geo::GridMap p_synth = estimate_population(synthetic.frame(t), hour, params);
+    psnrs.push_back(metrics::psnr(p_real, p_synth));
+  }
+
+  TrackingComparison out;
+  for (double v : psnrs) out.mean_psnr += v;
+  out.mean_psnr /= static_cast<double>(psnrs.size());
+  for (double v : psnrs) out.std_psnr += (v - out.mean_psnr) * (v - out.mean_psnr);
+  out.std_psnr = std::sqrt(out.std_psnr / static_cast<double>(psnrs.size()));
+  return out;
+}
+
+}  // namespace spectra::apps

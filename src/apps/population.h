@@ -1,0 +1,48 @@
+// Dynamic urban population tracking (§5.3, Eq. 8, Table 8, Fig. 11).
+//
+// The multivariate regression of Khodabandelou et al. [42] maps traffic
+// x_i(t) and a network activity level λ_i(t) to population presence:
+//   p_i(t) = exp(k1 λ_i(t) + k2) * x_i(t)^(k3 λ_i(t) + k4).
+// λ(t) follows the diurnal empirical curve of that study's Fig. 8 and the
+// constants mirror its Table 4 (representative values; the comparison in
+// Table 8 is between real-fed and synthetic-fed estimates, so only the
+// functional form matters, not the absolute calibration).
+
+#pragma once
+
+#include <vector>
+
+#include "geo/city_tensor.h"
+#include "geo/grid.h"
+
+namespace spectra::apps {
+
+struct PopulationModelParams {
+  double k1 = 0.35;
+  double k2 = 4.2;
+  double k3 = -0.12;
+  double k4 = 0.65;
+  // Mean network events per subscriber by hour of day (0..23).
+  std::vector<double> activity_by_hour;
+};
+
+// Defaults with the diurnal activity curve.
+PopulationModelParams default_population_params();
+
+// Eq. 8 applied to one traffic frame at the given hour of day.
+geo::GridMap estimate_population(const geo::GridMap& traffic_frame, long hour_of_day,
+                                 const PopulationModelParams& params);
+
+struct TrackingComparison {
+  double mean_psnr = 0.0;
+  double std_psnr = 0.0;
+};
+
+// Hourly population cartographies from real vs synthetic traffic,
+// compared frame by frame with PSNR (peak = max of the real-fed map).
+TrackingComparison compare_population_tracking(const geo::CityTensor& real,
+                                               const geo::CityTensor& synthetic, long steps,
+                                               long steps_per_hour,
+                                               const PopulationModelParams& params);
+
+}  // namespace spectra::apps

@@ -1,0 +1,45 @@
+// Data-driven micro-BS sleeping (§5.1, Table 6, Fig. 10).
+//
+// Heterogeneous RAN: one micro BS per pixel, one macro BS per 5x5 block
+// of pixels providing umbrella coverage. BS power follows
+//   P(t) = N_trx (P0 + Δp Pmax ρ(t)),  0 <= ρ(t) <= 1,
+// with the Table 6 parameters. A micro BS whose relative load drops to
+// ρ <= ρ_min (0.37, [23]) offloads to its macro and sleeps at ~zero power.
+
+#pragma once
+
+#include "geo/city_tensor.h"
+
+namespace spectra::apps {
+
+struct BsPowerParams {
+  double n_trx;
+  double p_max;
+  double p0;
+  double delta_p;
+};
+
+// Table 6 parameter sets.
+BsPowerParams macro_bs_params();  // N_trx 6, Pmax 20, P0 84, Δp 2.8
+BsPowerParams micro_bs_params();  // N_trx 2, Pmax 6.3, P0 56, Δp 2.6
+
+// Instantaneous BS power at relative load rho (clamped to [0,1]).
+double bs_power(const BsPowerParams& params, double rho);
+
+struct SleepingResult {
+  double power_always_on = 0.0;      // mean W per pixel, micro BSs never sleep
+  double power_with_sleeping = 0.0;  // mean W per pixel under the policy
+  double savings_fraction = 0.0;     // 1 - with_sleeping / always_on
+  double sleep_fraction = 0.0;       // fraction of (micro BS, step) pairs asleep
+};
+
+// Simulate the policy over the whole tensor. `decision` provides the
+// traffic that drives on/off decisions; `actual` provides the loads that
+// determine consumed power (pass the same tensor for the paper's
+// real-data reference, or synthetic decision data against real loads to
+// study policy transfer). Both tensors must share their shape.
+SleepingResult simulate_bs_sleeping(const geo::CityTensor& decision,
+                                    const geo::CityTensor& actual, double rho_min = 0.37,
+                                    long macro_block = 5);
+
+}  // namespace spectra::apps

@@ -1,0 +1,209 @@
+#include "apps/vran.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "metrics/fairness.h"
+#include "util/error.h"
+
+namespace spectra::apps {
+
+namespace {
+
+struct Neighbors {
+  long idx[4];
+  int count = 0;
+};
+
+Neighbors neighbors_of(long p, long h, long w) {
+  Neighbors n;
+  const long i = p / w;
+  const long j = p % w;
+  if (i > 0) n.idx[n.count++] = p - w;
+  if (i + 1 < h) n.idx[n.count++] = p + w;
+  if (j > 0) n.idx[n.count++] = p - 1;
+  if (j + 1 < w) n.idx[n.count++] = p + 1;
+  return n;
+}
+
+}  // namespace
+
+std::vector<long> partition_rus(const geo::GridMap& load, long num_cus) {
+  const long h = load.height();
+  const long w = load.width();
+  const long p_total = h * w;
+  SG_CHECK(num_cus >= 1 && num_cus <= p_total, "invalid CU count");
+
+  std::vector<long> assignment(static_cast<std::size_t>(p_total), -1);
+
+  // Seeds: evenly spaced along a space-filling diagonal sweep, which
+  // spreads the initial regions across the map.
+  std::vector<long> seeds;
+  seeds.reserve(static_cast<std::size_t>(num_cus));
+  for (long c = 0; c < num_cus; ++c) {
+    const long pos = (2 * c + 1) * p_total / (2 * num_cus);
+    seeds.push_back(pos);
+  }
+
+  std::vector<double> region_load(static_cast<std::size_t>(num_cus), 0.0);
+  std::vector<std::deque<long>> frontier(static_cast<std::size_t>(num_cus));
+  for (long c = 0; c < num_cus; ++c) {
+    long s = seeds[static_cast<std::size_t>(c)];
+    // Resolve seed collisions by scanning forward.
+    while (assignment[static_cast<std::size_t>(s)] != -1) s = (s + 1) % p_total;
+    assignment[static_cast<std::size_t>(s)] = c;
+    region_load[static_cast<std::size_t>(c)] += load[s];
+    frontier[static_cast<std::size_t>(c)].push_back(s);
+  }
+
+  // Balanced multi-source BFS growth: the least-loaded region claims the
+  // next unassigned pixel adjacent to it.
+  long assigned = num_cus;
+  while (assigned < p_total) {
+    // Pick the least-loaded region with a non-empty frontier.
+    long best_c = -1;
+    for (long c = 0; c < num_cus; ++c) {
+      if (frontier[static_cast<std::size_t>(c)].empty()) continue;
+      if (best_c == -1 ||
+          region_load[static_cast<std::size_t>(c)] < region_load[static_cast<std::size_t>(best_c)]) {
+        best_c = c;
+      }
+    }
+    if (best_c == -1) {
+      // All frontiers exhausted (disconnected remainder): attach the
+      // first unassigned pixel to the least-loaded region directly.
+      long p = 0;
+      while (assignment[static_cast<std::size_t>(p)] != -1) ++p;
+      long c = static_cast<long>(std::min_element(region_load.begin(), region_load.end()) -
+                                 region_load.begin());
+      assignment[static_cast<std::size_t>(p)] = c;
+      region_load[static_cast<std::size_t>(c)] += load[p];
+      frontier[static_cast<std::size_t>(c)].push_back(p);
+      ++assigned;
+      continue;
+    }
+    std::deque<long>& fq = frontier[static_cast<std::size_t>(best_c)];
+    bool claimed = false;
+    while (!fq.empty() && !claimed) {
+      const long p = fq.front();
+      const Neighbors nb = neighbors_of(p, h, w);
+      bool has_unassigned_neighbor = false;
+      for (int k = 0; k < nb.count; ++k) {
+        const long q = nb.idx[k];
+        if (assignment[static_cast<std::size_t>(q)] == -1) {
+          if (!claimed) {
+            assignment[static_cast<std::size_t>(q)] = best_c;
+            region_load[static_cast<std::size_t>(best_c)] += load[q];
+            fq.push_back(q);
+            ++assigned;
+            claimed = true;
+          } else {
+            has_unassigned_neighbor = true;
+          }
+        }
+      }
+      if (!has_unassigned_neighbor && claimed) break;
+      if (!claimed) fq.pop_front();  // exhausted frontier pixel
+    }
+    if (!claimed && fq.empty()) continue;  // frontier dried up; loop retries
+  }
+
+  // Boundary refinement: move boundary pixels to a neighbouring region
+  // when it reduces the squared deviation of region loads, keeping the
+  // donor region non-empty.
+  std::vector<long> region_size(static_cast<std::size_t>(num_cus), 0);
+  for (long p = 0; p < p_total; ++p) ++region_size[static_cast<std::size_t>(assignment[static_cast<std::size_t>(p)])];
+
+  const double mean_load = load.sum() / static_cast<double>(num_cus);
+  for (int pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (long p = 0; p < p_total; ++p) {
+      const long from = assignment[static_cast<std::size_t>(p)];
+      if (region_size[static_cast<std::size_t>(from)] <= 1) continue;
+      const Neighbors nb = neighbors_of(p, h, w);
+      for (int k = 0; k < nb.count; ++k) {
+        const long to = assignment[static_cast<std::size_t>(nb.idx[k])];
+        if (to == from) continue;
+        const double lf = region_load[static_cast<std::size_t>(from)];
+        const double lt = region_load[static_cast<std::size_t>(to)];
+        const double v = load[p];
+        const double before = (lf - mean_load) * (lf - mean_load) + (lt - mean_load) * (lt - mean_load);
+        const double after = (lf - v - mean_load) * (lf - v - mean_load) +
+                             (lt + v - mean_load) * (lt + v - mean_load);
+        if (after + 1e-12 < before) {
+          assignment[static_cast<std::size_t>(p)] = to;
+          region_load[static_cast<std::size_t>(from)] -= v;
+          region_load[static_cast<std::size_t>(to)] += v;
+          --region_size[static_cast<std::size_t>(from)];
+          ++region_size[static_cast<std::size_t>(to)];
+          moved = true;
+          break;
+        }
+      }
+    }
+    if (!moved) break;
+  }
+
+  return assignment;
+}
+
+std::vector<double> cu_loads(const geo::GridMap& load, const std::vector<long>& assignment,
+                             long num_cus) {
+  SG_CHECK(static_cast<long>(assignment.size()) == load.size(), "assignment size mismatch");
+  std::vector<double> loads(static_cast<std::size_t>(num_cus), 0.0);
+  for (long p = 0; p < load.size(); ++p) {
+    const long c = assignment[static_cast<std::size_t>(p)];
+    SG_CHECK(c >= 0 && c < num_cus, "assignment out of range");
+    loads[static_cast<std::size_t>(c)] += load[p];
+  }
+  return loads;
+}
+
+long cut_edges(const std::vector<long>& assignment, long height, long width) {
+  SG_CHECK(static_cast<long>(assignment.size()) == height * width, "assignment size mismatch");
+  long cut = 0;
+  for (long i = 0; i < height; ++i) {
+    for (long j = 0; j < width; ++j) {
+      const long p = i * width + j;
+      if (j + 1 < width && assignment[static_cast<std::size_t>(p)] !=
+                               assignment[static_cast<std::size_t>(p + 1)]) {
+        ++cut;
+      }
+      if (i + 1 < height && assignment[static_cast<std::size_t>(p)] !=
+                                assignment[static_cast<std::size_t>(p + width)]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+VranComparison evaluate_vran(const geo::CityTensor& planning, const geo::CityTensor& evaluation,
+                             long num_cus, long planning_offset, long evaluation_offset,
+                             long steps) {
+  SG_CHECK(planning.height() == evaluation.height() && planning.width() == evaluation.width(),
+           "planning and evaluation tensors must share spatial shape");
+  SG_CHECK(planning_offset + steps <= planning.steps() &&
+               evaluation_offset + steps <= evaluation.steps(),
+           "evaluate_vran window out of range");
+
+  std::vector<double> jains;
+  jains.reserve(static_cast<std::size_t>(steps));
+  for (long t = 0; t < steps; ++t) {
+    const geo::GridMap plan_load = planning.frame(planning_offset + t);
+    const std::vector<long> assignment = partition_rus(plan_load, num_cus);
+    const geo::GridMap eval_load = evaluation.frame(evaluation_offset + t);
+    jains.push_back(metrics::jain_fairness(cu_loads(eval_load, assignment, num_cus)));
+  }
+
+  VranComparison out;
+  for (double j : jains) out.mean_jain += j;
+  out.mean_jain /= static_cast<double>(jains.size());
+  for (double j : jains) out.std_jain += (j - out.mean_jain) * (j - out.mean_jain);
+  out.std_jain = std::sqrt(out.std_jain / static_cast<double>(jains.size()));
+  return out;
+}
+
+}  // namespace spectra::apps

@@ -1,0 +1,43 @@
+// vRAN RU-to-CU association (§5.2, Eq. 3-7, Table 7).
+//
+// Each pixel hosts one Radio Unit; RUs of a city attach to |C| Central
+// Units in an edge datacenter. The paper's ILP asks for a load-balanced,
+// spatially contiguous partition of the RU adjacency graph (minimum edge
+// cut subject to per-CU load within (1±ε) of the mean). We solve it with
+// a greedy balanced region-growing heuristic plus boundary refinement —
+// the role KaFFPa [62] plays in the paper.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/city_tensor.h"
+#include "geo/grid.h"
+
+namespace spectra::apps {
+
+// Partition the H x W RU grid into `num_cus` spatially contiguous groups
+// with (approximately) balanced total load. Returns the CU index of every
+// pixel (row-major).
+std::vector<long> partition_rus(const geo::GridMap& load, long num_cus);
+
+// Total load per CU under an assignment.
+std::vector<double> cu_loads(const geo::GridMap& load, const std::vector<long>& assignment,
+                             long num_cus);
+
+// Number of cut edges (4-neighbourhood) — the ILP objective (Eq. 3).
+long cut_edges(const std::vector<long>& assignment, long height, long width);
+
+struct VranComparison {
+  double mean_jain = 0.0;
+  double std_jain = 0.0;
+};
+
+// The paper's protocol: for every step of the planning day, partition
+// using `planning` loads; score Jain's fairness of the resulting CU loads
+// on the corresponding step of the evaluation day.
+VranComparison evaluate_vran(const geo::CityTensor& planning, const geo::CityTensor& evaluation,
+                             long num_cus, long planning_offset, long evaluation_offset,
+                             long steps);
+
+}  // namespace spectra::apps

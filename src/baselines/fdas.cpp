@@ -1,0 +1,84 @@
+#include "baselines/fdas.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::baselines {
+
+void Fdas::fit(const data::CountryDataset& dataset, const std::vector<std::size_t>& train_cities,
+               long train_steps, Rng& rng) {
+  (void)rng;  // fitting is deterministic
+  SG_CHECK(!train_cities.empty(), "FDAS requires at least one training city");
+
+  struct Accumulator {
+    double sum_log = 0.0;
+    double sum_log_sq = 0.0;
+    long positive = 0;
+    long zero = 0;
+  };
+  std::array<Accumulator, 24> acc{};
+
+  for (std::size_t index : train_cities) {
+    const data::City& city = dataset.cities.at(index);
+    const long steps = std::min(train_steps, city.steps());
+    const long steps_per_hour = 60 / city.minutes_per_step;
+    steps_per_hour_ = steps_per_hour;
+    for (long t = 0; t < steps; ++t) {
+      const long hour = (t / steps_per_hour) % 24;
+      Accumulator& a = acc[static_cast<std::size_t>(hour)];
+      for (long i = 0; i < city.height(); ++i) {
+        for (long j = 0; j < city.width(); ++j) {
+          const double v = city.traffic.at(t, i, j);
+          if (v > 1e-9) {
+            const double lv = std::log(v);
+            a.sum_log += lv;
+            a.sum_log_sq += lv * lv;
+            ++a.positive;
+          } else {
+            ++a.zero;
+          }
+        }
+      }
+    }
+  }
+
+  for (long h = 0; h < 24; ++h) {
+    const Accumulator& a = acc[static_cast<std::size_t>(h)];
+    HourlyFit& fit = fits_[static_cast<std::size_t>(h)];
+    SG_CHECK(a.positive >= 2, "FDAS: not enough positive samples for hour " + std::to_string(h));
+    fit.mu = a.sum_log / static_cast<double>(a.positive);
+    const double var = a.sum_log_sq / static_cast<double>(a.positive) - fit.mu * fit.mu;
+    fit.sigma = std::sqrt(std::max(var, 1e-12));
+    fit.zero_fraction =
+        static_cast<double>(a.zero) / static_cast<double>(a.zero + a.positive);
+  }
+  fitted_ = true;
+}
+
+const Fdas::HourlyFit& Fdas::hourly_fit(long hour) const {
+  SG_CHECK(fitted_, "FDAS not fitted");
+  SG_CHECK(hour >= 0 && hour < 24, "hour out of range");
+  return fits_[static_cast<std::size_t>(hour)];
+}
+
+geo::CityTensor Fdas::generate(const data::City& target, long steps, Rng& rng) {
+  SG_CHECK(fitted_, "FDAS not fitted");
+  geo::CityTensor out(steps, target.height(), target.width());
+  const long steps_per_hour = 60 / target.minutes_per_step;
+  for (long t = 0; t < steps; ++t) {
+    const HourlyFit& fit = fits_[static_cast<std::size_t>((t / steps_per_hour) % 24)];
+    for (long i = 0; i < target.height(); ++i) {
+      for (long j = 0; j < target.width(); ++j) {
+        if (rng.bernoulli(fit.zero_fraction)) {
+          out.at(t, i, j) = 0.0;
+        } else {
+          out.at(t, i, j) = std::min(rng.lognormal(fit.mu, fit.sigma), 1.0);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spectra::baselines

@@ -1,0 +1,39 @@
+// FDAS — "Fit Distribution And Sample" (§3.3): the state of the art in
+// mobile traffic synthesis before deep generative models [26, 54]. A
+// log-normal distribution is fitted to the pixel-level traffic of every
+// hour of the day (pooled over pixels, days and training cities) and
+// sampled independently per pixel and step. By construction it matches
+// marginals well and captures no correlation in space or time (Fig. 6).
+
+#pragma once
+
+#include <array>
+
+#include "baselines/model_api.h"
+
+namespace spectra::baselines {
+
+class Fdas : public TrafficGenerator {
+ public:
+  std::string name() const override { return "FDAS"; }
+
+  void fit(const data::CountryDataset& dataset, const std::vector<std::size_t>& train_cities,
+           long train_steps, Rng& rng) override;
+
+  geo::CityTensor generate(const data::City& target, long steps, Rng& rng) override;
+
+  // Fitted log-normal parameters for a given hour of day (0..23).
+  struct HourlyFit {
+    double mu = 0.0;
+    double sigma = 1.0;
+    double zero_fraction = 0.0;  // mass of exactly-zero observations
+  };
+  const HourlyFit& hourly_fit(long hour) const;
+
+ private:
+  std::array<HourlyFit, 24> fits_{};
+  long steps_per_hour_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace spectra::baselines

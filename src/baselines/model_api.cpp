@@ -1,0 +1,67 @@
+#include "baselines/model_api.h"
+
+#include "baselines/conv3d_lstm.h"
+#include "baselines/doppelganger.h"
+#include "baselines/fdas.h"
+#include "baselines/pix2pix.h"
+#include "core/trainer.h"
+#include "core/variants.h"
+#include "util/error.h"
+
+namespace spectra::baselines {
+
+namespace {
+
+// Adapts core::SpectraGan (any variant) to the TrafficGenerator API.
+class SpectraGanGenerator : public TrafficGenerator {
+ public:
+  SpectraGanGenerator(const core::SpectraGanConfig& config, std::string display_name)
+      : config_(config), display_name_(std::move(display_name)) {}
+
+  std::string name() const override { return display_name_; }
+
+  void fit(const data::CountryDataset& dataset, const std::vector<std::size_t>& train_cities,
+           long train_steps, Rng& rng) override {
+    core::SpectraGanConfig config = config_;
+    config.train_steps = train_steps;
+    model_ = std::make_unique<core::SpectraGan>(config, config.seed);
+    data::PatchSampler sampler(dataset, train_cities, config.patch, 0, train_steps);
+    model_->train(sampler, rng);
+  }
+
+  geo::CityTensor generate(const data::City& target, long steps, Rng& rng) override {
+    SG_CHECK(model_ != nullptr, "SpectraGAN model not fitted");
+    return model_->generate_city(target.context, steps, rng);
+  }
+
+ private:
+  core::SpectraGanConfig config_;
+  std::string display_name_;
+  std::unique_ptr<core::SpectraGan> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficGenerator> make_spectragan(const core::SpectraGanConfig& config,
+                                                  std::string display_name) {
+  return std::make_unique<SpectraGanGenerator>(config, std::move(display_name));
+}
+
+std::unique_ptr<TrafficGenerator> make_model(const std::string& name,
+                                             const core::SpectraGanConfig& base_config) {
+  if (name == "FDAS") return std::make_unique<Fdas>();
+  if (name == "Pix2Pix") return std::make_unique<Pix2Pix>(base_config);
+  if (name == "DoppelGANger") return std::make_unique<DoppelGanger>(base_config);
+  if (name == "Conv{3D+LSTM}") return std::make_unique<Conv3dLstm>(base_config);
+
+  // SpectraGAN and its ablation variants keep the caller's training plan
+  // (iterations/batch/seed) but take geometry/switches from the variant.
+  core::SpectraGanConfig config = core::variant_config(name);
+  config.iterations = base_config.iterations;
+  config.batch = base_config.batch;
+  config.seed = base_config.seed;
+  config.train_steps = base_config.train_steps;
+  return make_spectragan(config, name);
+}
+
+}  // namespace spectra::baselines

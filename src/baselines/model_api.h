@@ -1,0 +1,43 @@
+// Common interface for every traffic generation model compared in the
+// evaluation (§3.3): SpectraGAN (and its ablation variants), FDAS,
+// Pix2Pix, DoppelGANger and Conv{3D+LSTM}. The leave-one-city-out
+// protocol (eval/protocol.h) drives models exclusively through this API.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace spectra::baselines {
+
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Train on the listed cities of `dataset`, using the first
+  // `train_steps` time steps (the paper trains on one week, §4.1).
+  virtual void fit(const data::CountryDataset& dataset,
+                   const std::vector<std::size_t>& train_cities, long train_steps, Rng& rng) = 0;
+
+  // Generate `steps` of synthetic traffic for the target city's context.
+  virtual geo::CityTensor generate(const data::City& target, long steps, Rng& rng) = 0;
+};
+
+// SpectraGAN (or one of its ablation variants) behind the common API.
+std::unique_ptr<TrafficGenerator> make_spectragan(const core::SpectraGanConfig& config,
+                                                  std::string display_name = "SpectraGAN");
+
+// Factory by the names used in the paper's tables: "SpectraGAN",
+// "SpectraGAN-", "Spec-only", "Time-only", "Time-only+", "FDAS",
+// "Pix2Pix", "DoppelGANger", "Conv{3D+LSTM}".
+std::unique_ptr<TrafficGenerator> make_model(const std::string& name,
+                                             const core::SpectraGanConfig& base_config);
+
+}  // namespace spectra::baselines

@@ -1,0 +1,42 @@
+// Pix2Pix baseline (§3.3): an image-to-image conditional GAN [38] adapted
+// to traffic generation by conditioning on the spatial context patch. It
+// generates one traffic *frame* at a time from context + noise and has no
+// notion of time: temporal structure in its output is pure noise, which
+// is exactly the failure mode Fig. 8b shows.
+
+#pragma once
+
+#include <memory>
+
+#include "baselines/model_api.h"
+#include "core/encoder.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace spectra::baselines {
+
+class Pix2Pix : public TrafficGenerator {
+ public:
+  explicit Pix2Pix(const core::SpectraGanConfig& config);
+
+  std::string name() const override { return "Pix2Pix"; }
+
+  void fit(const data::CountryDataset& dataset, const std::vector<std::size_t>& train_cities,
+           long train_steps, Rng& rng) override;
+
+  geo::CityTensor generate(const data::City& target, long steps, Rng& rng) override;
+
+ private:
+  // Frame generator forward: context hidden + per-frame noise -> [B,1,Ht,Wt].
+  nn::Var frame_forward(const nn::Var& hidden, const nn::Var& noise) const;
+
+  core::SpectraGanConfig config_;
+  Rng model_rng_;
+  std::unique_ptr<core::ContextEncoder> encoder_g_;
+  std::unique_ptr<nn::Conv2dLayer> head1_;
+  std::unique_ptr<nn::Conv2dLayer> head2_;
+  std::unique_ptr<core::ContextEncoder> encoder_r_;
+  std::unique_ptr<nn::Mlp> disc_;
+};
+
+}  // namespace spectra::baselines

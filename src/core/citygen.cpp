@@ -1,0 +1,75 @@
+// Whole-city generation (§2.2.4): sliding-window patches, shared noise
+// across all patches, per-pixel overlap averaging (Eq. 2), and k-multiple
+// frequency expansion for horizons beyond the training length.
+
+#include <limits>
+
+#include "core/fourier_bridge.h"
+#include "core/trainer.h"
+#include "nn/init.h"
+#include "util/error.h"
+
+namespace spectra::core {
+
+geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, long steps,
+                                          Rng& rng) const {
+  SG_CHECK(context.steps() == config_.context_channels,
+           "context channel count does not match the model");
+  SG_CHECK(steps > 0 && steps % config_.train_steps == 0,
+           "steps must be a positive multiple of the training window (k-multiple expansion)");
+  const long expand_k = steps / config_.train_steps;
+
+  const geo::PatchSpec& spec = config_.patch;
+  const std::vector<geo::PatchWindow> windows =
+      geo::enumerate_windows(context.height(), context.width(), spec);
+
+  // Shared noise across every patch of the city (§2.2.4): independent
+  // noise plus overlap averaging would converge to the expected traffic
+  // and oversmooth the maps.
+  const nn::Tensor shared_noise = nn::init::gaussian(
+      {1, config_.noise_channels, spec.traffic_h, spec.traffic_w}, 1.0f, rng);
+
+  geo::OverlapAccumulator accumulator(steps, context.height(), context.width());
+  const long pixels = spec.traffic_h * spec.traffic_w;
+
+  nn::InferenceGuard no_grad;
+  constexpr std::size_t kChunk = 16;  // bound peak memory of the forward pass
+  for (std::size_t begin = 0; begin < windows.size(); begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, windows.size());
+    const long n = static_cast<long>(end - begin);
+
+    nn::Tensor ctx_batch({n, config_.context_channels, spec.context_h, spec.context_w});
+    for (long b = 0; b < n; ++b) {
+      const std::vector<float> patch =
+          geo::extract_context_patch(context, windows[begin + static_cast<std::size_t>(b)], spec);
+      std::copy(patch.begin(), patch.end(),
+                ctx_batch.data() + b * static_cast<long>(patch.size()));
+    }
+    nn::Tensor noise_batch({n, config_.noise_channels, spec.traffic_h, spec.traffic_w});
+    for (long b = 0; b < n; ++b) {
+      std::copy(shared_noise.data(), shared_noise.data() + shared_noise.numel(),
+                noise_batch.data() + b * shared_noise.numel());
+    }
+
+    const GeneratorOutput out = generator_forward(
+        nn::Var::constant(std::move(ctx_batch)), nn::Var::constant(std::move(noise_batch)), steps,
+        expand_k);
+    const nn::Tensor& traffic = out.traffic.value();  // [n, steps, P]
+
+    std::vector<float> patch(static_cast<std::size_t>(steps * pixels));
+    for (long b = 0; b < n; ++b) {
+      for (long t = 0; t < steps; ++t) {
+        for (long p = 0; p < pixels; ++p) {
+          patch[static_cast<std::size_t>(t * pixels + p)] = traffic[(b * steps + t) * pixels + p];
+        }
+      }
+      accumulator.add_patch(windows[begin + static_cast<std::size_t>(b)], spec, patch);
+    }
+  }
+
+  geo::CityTensor city = accumulator.finalize();
+  city.clamp(0.0, std::numeric_limits<double>::infinity());
+  return city;
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,62 @@
+// SpectraGAN hyperparameters (§2.2) and their scaled-down defaults.
+//
+// The architecture follows the paper exactly; sizes are calibrated for
+// single-core CPU training (DESIGN.md §2). One deliberate engineering
+// choice is documented here: the spectrum generator emits only the first
+// `spectrum_bins` rFFT bins instead of all T/2+1. The significant
+// components of mobile traffic all live at low frequencies (Fig. 1d: 1/w,
+// 2/w, 1/d, 2/d, 3/d cycles), so truncating the generated band loses
+// nothing the masked-L1 target would keep, and the residual time-series
+// generator owns the high-frequency remainder by design.
+
+#pragma once
+
+#include <cstdint>
+
+#include "geo/patching.h"
+
+namespace spectra::core {
+
+struct SpectraGanConfig {
+  // --- geometry (§2.2.1) ---
+  geo::PatchSpec patch{.traffic_h = 4, .traffic_w = 4, .context_h = 8, .context_w = 8, .stride = 2};
+  long context_channels = 27;  // C
+  long train_steps = 168;      // T: one week of hourly steps (§4.1)
+  long steps_per_day = 24;     // phase reference for recurrent time encodings
+
+  // --- architecture ---
+  long hidden_channels = 16;  // C_h of the encoder output
+  long encoder_mid_channels = 24;
+  long noise_channels = 4;    // Z per hidden spatial location
+  long spectrum_bins = 28;    // generated rFFT bins (see header comment)
+  long spectrum_mid_channels = 32;
+  long lstm_hidden = 24;      // G^t / R^t hidden width
+  long cond_dim = 24;         // conditioning vector distilled from h for LSTMs
+  long disc_mlp_hidden = 48;  // R^s width
+  long disc_time_stride = 2;  // R^t critiques every k-th step (cost knob)
+
+  // --- losses (Eq. 1) ---
+  float lambda_l1 = 2.0f;     // lambda (paper: 0.5; raised for the CPU-scale
+                              // iteration budget and normalized-spectrum units)
+  float mask_quantile = 0.75f;  // q
+
+  // --- variant switches (ablations, §4.2) ---
+  bool use_spectrum_generator = true;   // off => Time-only
+  bool use_time_generator = true;       // off => Spec-only
+  bool extra_time_generator = false;    // Time-only+ 's extra minmax generator
+
+  // --- training ---
+  long iterations = 400;
+  long batch = 6;
+  float lr_generator = 2e-3f;
+  float lr_discriminator = 1e-3f;
+  float grad_clip = 5.0f;
+  std::uint64_t seed = 17;
+
+  // Number of rFFT bins of a length-`train_steps` signal.
+  long full_bins() const { return train_steps / 2 + 1; }
+
+  void validate() const;
+};
+
+}  // namespace spectra::core

@@ -1,0 +1,37 @@
+#include "core/encoder.h"
+
+#include "util/error.h"
+
+namespace spectra::core {
+
+namespace {
+// Reduction factor from context patch to traffic patch. 2 for the full
+// model (wide context, stride-2 conv), 1 for the pixel-context ablation
+// SpectraGAN- (§4.2) where Hc == Ht.
+long reduction_factor(const SpectraGanConfig& config) {
+  const long fh = config.patch.context_h / config.patch.traffic_h;
+  const long fw = config.patch.context_w / config.patch.traffic_w;
+  SG_CHECK(fh == fw && (fh == 1 || fh == 2) &&
+               config.patch.context_h == fh * config.patch.traffic_h &&
+               config.patch.context_w == fw * config.patch.traffic_w,
+           "ContextEncoder expects context patch = 1x or 2x the traffic patch");
+  return fh;
+}
+}  // namespace
+
+ContextEncoder::ContextEncoder(const SpectraGanConfig& config, Rng& rng)
+    : hidden_channels_(config.hidden_channels),
+      conv1_(config.context_channels, config.encoder_mid_channels, 3,
+             nn::Conv2dSpec{.stride = 1, .padding = 1}, rng),
+      conv2_(config.encoder_mid_channels, config.hidden_channels, 3,
+             nn::Conv2dSpec{.stride = reduction_factor(config), .padding = 1}, rng) {
+  register_child(conv1_);
+  register_child(conv2_);
+}
+
+nn::Var ContextEncoder::forward(const nn::Var& context) const {
+  nn::Var h = nn::leaky_relu(conv1_.forward(context));
+  return nn::leaky_relu(conv2_.forward(h));
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,31 @@
+// Context encoders E^G / E^R (§2.2.2, Fig. 3): CNNs that map a context
+// patch [B, C, Hc, Wc] to a hidden representation [B, C_h, H_h, W_h].
+// With the default geometry (Hc = 2*Ht, stride-2 second conv) the hidden
+// feature map is spatially aligned with the traffic patch (H_h = Ht),
+// giving the per-pixel context-to-spectrum correspondence that §2.1.3
+// highlights. The generator and the discriminators use *separate*
+// encoder instances (the paper's Fig. 3 note).
+
+#pragma once
+
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace spectra::core {
+
+class ContextEncoder : public nn::Module {
+ public:
+  ContextEncoder(const SpectraGanConfig& config, Rng& rng);
+
+  // [B, C, Hc, Wc] -> [B, hidden_channels, Ht, Wt].
+  nn::Var forward(const nn::Var& context) const;
+
+  long hidden_channels() const { return hidden_channels_; }
+
+ private:
+  long hidden_channels_;
+  nn::Conv2dLayer conv1_;  // C -> mid, stride 1, pad 1
+  nn::Conv2dLayer conv2_;  // mid -> hidden, stride 2, pad 1
+};
+
+}  // namespace spectra::core

@@ -1,0 +1,27 @@
+// Differentiable inverse real FFT — the bridge between the spectrum
+// generator's frequency-domain output and the time-domain traffic patch
+// (§2.2.2: "IFFT is differentiable so is the overall generator").
+//
+// Forward: an interleaved-complex spectrum tensor [B, 2*Fgen, P] (Fgen
+// generated low-frequency bins per pixel p) is zero-padded to the full
+// T/2+1 bins and inverse-transformed to [B, T, P].
+//
+// Backward: the adjoint of the (linear) inverse transform — an rFFT of
+// the incoming gradient with Hermitian weighting 2/T on interior bins and
+// 1/T on the DC/Nyquist bins, truncated back to the generated band.
+//
+// The same entry point implements long-horizon generation: when
+// `expand_k > 1` the spectrum is first expanded with the k-multiple rule
+// (dsp/expansion.h, Fig. 4) so the output covers k*T steps.
+
+#pragma once
+
+#include "nn/autograd.h"
+
+namespace spectra::core {
+
+// spectrum: [B, 2*Fgen, P]; returns [B, T_out, P] with
+// T_out = expand_k * base_steps.
+nn::Var irfft_bridge(const nn::Var& spectrum, long base_steps, long expand_k = 1);
+
+}  // namespace spectra::core

@@ -1,0 +1,27 @@
+// Loss plumbing for Eq. 1: the masked-FFT target y^q = M^q(FFT(x)) that
+// supervises the spectrum generator, and batch conversion helpers between
+// the sampler's float buffers and nn::Tensors.
+
+#pragma once
+
+#include "core/config.h"
+#include "data/sampler.h"
+#include "nn/tensor.h"
+
+namespace spectra::core {
+
+// Wrap the sampler's context buffer as [B, C, Hc, Wc].
+nn::Tensor context_tensor(const data::PatchBatch& batch);
+
+// Wrap the sampler's traffic buffer as [B, T, P] (pixels flattened).
+nn::Tensor traffic_tensor(const data::PatchBatch& batch);
+
+// rFFT of each pixel series of a [B, T, P] traffic tensor, truncated to
+// `f_gen` bins, interleaved re/im: [B, 2*f_gen, P].
+nn::Tensor batch_spectrum(const nn::Tensor& traffic, long f_gen);
+
+// The masked target y^q (§2.2.3): per pixel series, bins whose magnitude
+// is <= the q-quantile of that series' (truncated) magnitudes are zeroed.
+nn::Tensor masked_spectrum_target(const nn::Tensor& traffic, long f_gen, double q);
+
+}  // namespace spectra::core

@@ -1,0 +1,22 @@
+#include "core/spectrum_generator.h"
+
+namespace spectra::core {
+
+SpectrumGenerator::SpectrumGenerator(const SpectraGanConfig& config, Rng& rng)
+    : output_channels_(2 * config.spectrum_bins),
+      conv1_(config.hidden_channels + config.noise_channels, config.spectrum_mid_channels, 3,
+             nn::Conv2dSpec{.stride = 1, .padding = 1}, rng),
+      conv2_(config.spectrum_mid_channels, output_channels_, 3,
+             nn::Conv2dSpec{.stride = 1, .padding = 1}, rng) {
+  register_child(conv1_);
+  register_child(conv2_);
+}
+
+nn::Var SpectrumGenerator::forward(const nn::Var& hidden, const nn::Var& noise) const {
+  nn::Var input = nn::concat_axis({hidden, noise}, /*axis=*/1);
+  nn::Var mid = nn::leaky_relu(conv1_.forward(input));
+  // Linear output: spectra are signed and unbounded.
+  return conv2_.forward(mid);
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,28 @@
+// Spectrum generator G^s (§2.2.2): a CNN mapping the hidden context
+// representation plus spatial noise to per-pixel traffic spectra —
+// interleaved re/im values for the generated low-frequency band.
+
+#pragma once
+
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace spectra::core {
+
+class SpectrumGenerator : public nn::Module {
+ public:
+  SpectrumGenerator(const SpectraGanConfig& config, Rng& rng);
+
+  // hidden: [B, C_h, Ht, Wt]; noise: [B, Z, Ht, Wt].
+  // Returns spectra [B, 2*Fgen, Ht, Wt].
+  nn::Var forward(const nn::Var& hidden, const nn::Var& noise) const;
+
+  long output_channels() const { return output_channels_; }
+
+ private:
+  long output_channels_;  // 2 * spectrum_bins
+  nn::Conv2dLayer conv1_;
+  nn::Conv2dLayer conv2_;
+};
+
+}  // namespace spectra::core

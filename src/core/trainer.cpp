@@ -1,0 +1,186 @@
+#include "core/trainer.h"
+
+#include "core/fourier_bridge.h"
+#include "core/losses.h"
+#include "nn/init.h"
+#include "nn/serialize.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace spectra::core {
+
+using nn::Var;
+
+SpectraGan::SpectraGan(SpectraGanConfig config, std::uint64_t seed)
+    : config_(std::move(config)), model_rng_(seed) {
+  config_.validate();
+  encoder_g_ = std::make_unique<ContextEncoder>(config_, model_rng_);
+  encoder_r_ = std::make_unique<ContextEncoder>(config_, model_rng_);
+  if (config_.use_spectrum_generator) {
+    spectrum_gen_ = std::make_unique<SpectrumGenerator>(config_, model_rng_);
+    disc_s_ = std::make_unique<SpectrumDiscriminator>(config_, model_rng_);
+  }
+  if (config_.use_time_generator) {
+    time_gen_ = std::make_unique<TimeGenerator>(config_, model_rng_);
+    if (config_.extra_time_generator) {
+      time_gen_extra_ = std::make_unique<TimeGenerator>(config_, model_rng_);
+    }
+  }
+  disc_t_ = std::make_unique<TimeDiscriminator>(config_, model_rng_);
+}
+
+std::vector<Var> SpectraGan::generator_parameters() const {
+  std::vector<Var> params = encoder_g_->parameters();
+  auto append = [&params](const nn::Module* m) {
+    if (m == nullptr) return;
+    const std::vector<Var> sub = m->parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  };
+  append(spectrum_gen_.get());
+  append(time_gen_.get());
+  append(time_gen_extra_.get());
+  return params;
+}
+
+std::vector<Var> SpectraGan::discriminator_parameters() const {
+  std::vector<Var> params = encoder_r_->parameters();
+  auto append = [&params](const nn::Module* m) {
+    if (m == nullptr) return;
+    const std::vector<Var> sub = m->parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  };
+  append(disc_s_.get());
+  append(disc_t_.get());
+  return params;
+}
+
+nn::Tensor SpectraGan::sample_noise(long batch, Rng& rng) const {
+  return nn::init::gaussian(
+      {batch, config_.noise_channels, config_.patch.traffic_h, config_.patch.traffic_w}, 1.0f, rng);
+}
+
+SpectraGan::GeneratorOutput SpectraGan::generator_forward(const Var& context,
+                                                          const Var& spatial_noise, long steps,
+                                                          long expand_k) const {
+  const long batch = context.value().dim(0);
+  const long pixels = config_.patch.traffic_h * config_.patch.traffic_w;
+  Var hidden = encoder_g_->forward(context);
+
+  GeneratorOutput out;
+  if (spectrum_gen_) {
+    Var spec_map = spectrum_gen_->forward(hidden, spatial_noise);  // [B, 2F, Ht, Wt]
+    out.spectrum = nn::reshape(spec_map, {batch, 2 * config_.spectrum_bins, pixels});
+    out.traffic = irfft_bridge(out.spectrum, config_.train_steps, expand_k);
+  }
+  if (time_gen_) {
+    Var residual = time_gen_->forward(hidden, spatial_noise, steps);
+    out.traffic = out.traffic.defined() ? nn::add(out.traffic, residual) : residual;
+    if (time_gen_extra_) {
+      out.traffic = nn::add(out.traffic, time_gen_extra_->forward(hidden, spatial_noise, steps));
+    }
+  }
+  return out;
+}
+
+TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
+  SG_CHECK(sampler.train_steps() == config_.train_steps,
+           "sampler window length must equal config.train_steps");
+  Stopwatch watch;
+
+  nn::Adam opt_g(generator_parameters(), config_.lr_generator, 0.5f, 0.999f);
+  nn::Adam opt_d(discriminator_parameters(), config_.lr_discriminator, 0.5f, 0.999f);
+
+  TrainStats stats;
+  for (long it = 0; it < config_.iterations; ++it) {
+    const data::PatchBatch batch = sampler.sample(config_.batch, rng);
+    Var context = Var::constant(context_tensor(batch));
+    Var real_traffic = Var::constant(traffic_tensor(batch));
+    Var noise = Var::constant(sample_noise(batch.batch, rng));
+
+    // Masked-FFT target y^q for the spectrum branch (Eq. 1's L1 target).
+    Var masked_target;
+    if (spectrum_gen_) {
+      masked_target = Var::constant(masked_spectrum_target(
+          traffic_tensor(batch), config_.spectrum_bins, config_.mask_quantile));
+    }
+
+    // Single generator forward reused by both optimization steps.
+    GeneratorOutput fake = generator_forward(context, noise, config_.train_steps, /*expand_k=*/1);
+
+    // --- discriminator step (fakes detached via value copies) ---
+    {
+      Var hidden_r = encoder_r_->forward(context);
+      Var d_loss;
+      auto accumulate = [&d_loss](Var term) {
+        d_loss = d_loss.defined() ? nn::add(d_loss, term) : term;
+      };
+      if (disc_s_) {
+        accumulate(nn::bce_with_logits_const(disc_s_->forward(masked_target, hidden_r), 1.0f));
+        accumulate(nn::bce_with_logits_const(
+            disc_s_->forward(Var::constant(fake.spectrum.value()), hidden_r), 0.0f));
+      }
+      accumulate(nn::bce_with_logits_const(disc_t_->forward(real_traffic, hidden_r), 1.0f));
+      accumulate(nn::bce_with_logits_const(
+          disc_t_->forward(Var::constant(fake.traffic.value()), hidden_r), 0.0f));
+
+      opt_d.zero_grad();
+      d_loss.backward();
+      opt_d.clip_grad_norm(config_.grad_clip);
+      opt_d.step();
+      stats.final_d_loss = d_loss.value()[0];
+    }
+
+    // --- generator step ---
+    {
+      Var hidden_r = encoder_r_->forward(context);
+      Var g_adv;
+      auto accumulate = [&g_adv](Var term) {
+        g_adv = g_adv.defined() ? nn::add(g_adv, term) : term;
+      };
+      if (disc_s_) {
+        accumulate(nn::bce_with_logits_const(disc_s_->forward(fake.spectrum, hidden_r), 1.0f));
+      }
+      accumulate(nn::bce_with_logits_const(disc_t_->forward(fake.traffic, hidden_r), 1.0f));
+
+      Var l1 = nn::l1_loss(fake.traffic, real_traffic);
+      if (disc_s_) l1 = nn::add(l1, nn::l1_loss(fake.spectrum, masked_target));
+
+      Var g_loss = nn::add(g_adv, nn::mul_scalar(l1, config_.lambda_l1));
+
+      opt_g.zero_grad();
+      // The backward pass also deposits gradients into discriminator
+      // parameters; they are discarded at the next opt_d.zero_grad().
+      g_loss.backward();
+      opt_g.clip_grad_norm(config_.grad_clip);
+      opt_g.step();
+      stats.final_g_adv_loss = g_adv.value()[0];
+      stats.final_l1_loss = l1.value()[0];
+    }
+
+    ++stats.iterations;
+    if ((it + 1) % 50 == 0) {
+      SG_LOG_INFO << "iter " << (it + 1) << "/" << config_.iterations
+                  << " d=" << stats.final_d_loss << " g_adv=" << stats.final_g_adv_loss
+                  << " l1=" << stats.final_l1_loss;
+    }
+  }
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+void SpectraGan::save(const std::string& path) const {
+  std::vector<Var> all = generator_parameters();
+  const std::vector<Var> d = discriminator_parameters();
+  all.insert(all.end(), d.begin(), d.end());
+  nn::save_parameters(path, all);
+}
+
+void SpectraGan::load(const std::string& path) {
+  std::vector<Var> all = generator_parameters();
+  const std::vector<Var> d = discriminator_parameters();
+  all.insert(all.end(), d.begin(), d.end());
+  nn::load_parameters(path, all);
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,80 @@
+// The SpectraGAN model: generator-side encoder E^G, spectrum generator
+// G^s, residual time generator G^t, discriminator-side encoder E^R and
+// critics R^s / R^t, with the adversarial + explicit-L1 training loop of
+// Eq. 1 and whole-city generation (§2.2.4).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/discriminators.h"
+#include "core/encoder.h"
+#include "core/spectrum_generator.h"
+#include "core/time_generator.h"
+#include "data/sampler.h"
+#include "geo/city_tensor.h"
+#include "nn/optim.h"
+
+namespace spectra::core {
+
+struct TrainStats {
+  long iterations = 0;
+  double final_d_loss = 0.0;
+  double final_g_adv_loss = 0.0;
+  double final_l1_loss = 0.0;
+  double seconds = 0.0;
+};
+
+class SpectraGan {
+ public:
+  SpectraGan(SpectraGanConfig config, std::uint64_t seed);
+
+  // Run the full adversarial training loop on patches from `sampler`.
+  TrainStats train(const data::PatchSampler& sampler, Rng& rng);
+
+  // Generate a whole-city tensor of `steps` time steps for the given
+  // context (steps must be a multiple of config.train_steps; longer
+  // horizons use the k-multiple frequency expansion). Noise is shared
+  // across patches (§2.2.4). Non-negative output.
+  geo::CityTensor generate_city(const geo::ContextTensor& context, long steps, Rng& rng) const;
+
+  const SpectraGanConfig& config() const { return config_; }
+
+  std::vector<nn::Var> generator_parameters() const;
+  std::vector<nn::Var> discriminator_parameters() const;
+
+  // Parameter (de)serialization for pre-trained-model workflows.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  // One generator forward pass on a batch. Outputs are null Vars when the
+  // corresponding component is disabled by the variant switches.
+  struct GeneratorOutput {
+    nn::Var spectrum;  // [B, 2*Fgen, P]
+    nn::Var traffic;   // [B, T, P]
+  };
+  GeneratorOutput generator_forward(const nn::Var& context, const nn::Var& spatial_noise,
+                                    long steps, long expand_k) const;
+
+  nn::Tensor sample_noise(long batch, Rng& rng) const;
+
+  SpectraGanConfig config_;
+  Rng model_rng_;
+
+  // Generator side.
+  std::unique_ptr<ContextEncoder> encoder_g_;
+  std::unique_ptr<SpectrumGenerator> spectrum_gen_;
+  std::unique_ptr<TimeGenerator> time_gen_;
+  std::unique_ptr<TimeGenerator> time_gen_extra_;  // Time-only+ ablation
+
+  // Discriminator side.
+  std::unique_ptr<ContextEncoder> encoder_r_;
+  std::unique_ptr<SpectrumDiscriminator> disc_s_;
+  std::unique_ptr<TimeDiscriminator> disc_t_;
+};
+
+}  // namespace spectra::core

@@ -1,0 +1,45 @@
+#include "core/variants.h"
+
+#include "util/error.h"
+
+namespace spectra::core {
+
+SpectraGanConfig default_config() { return SpectraGanConfig{}; }
+
+SpectraGanConfig pixel_context_config() {
+  SpectraGanConfig config;
+  // Context patch collapses to the traffic patch: each pixel is
+  // conditioned only on its own context (the DoppelGANger-style setting).
+  config.patch.context_h = config.patch.traffic_h;
+  config.patch.context_w = config.patch.traffic_w;
+  return config;
+}
+
+SpectraGanConfig spec_only_config() {
+  SpectraGanConfig config;
+  config.use_time_generator = false;
+  return config;
+}
+
+SpectraGanConfig time_only_config() {
+  SpectraGanConfig config;
+  config.use_spectrum_generator = false;
+  return config;
+}
+
+SpectraGanConfig time_only_plus_config() {
+  SpectraGanConfig config = time_only_config();
+  config.extra_time_generator = true;
+  return config;
+}
+
+SpectraGanConfig variant_config(const std::string& name) {
+  if (name == "SpectraGAN") return default_config();
+  if (name == "SpectraGAN-") return pixel_context_config();
+  if (name == "Spec-only") return spec_only_config();
+  if (name == "Time-only") return time_only_config();
+  if (name == "Time-only+") return time_only_plus_config();
+  SG_THROW("unknown SpectraGAN variant: " + name);
+}
+
+}  // namespace spectra::core

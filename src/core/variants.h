@@ -1,0 +1,29 @@
+// Named configuration variants for the ablation study (§4.2, Tables 4-5):
+//   * full SpectraGAN;
+//   * SpectraGAN- (pixel-level context only, no halo);
+//   * Spec-only (no residual time-series generator);
+//   * Time-only (no spectrum generator);
+//   * Time-only+ (Time-only with an extra minmax generator — implemented
+//     as a second residual LSTM generator trained in the same adversarial
+//     game, i.e. "DoppelGANger with a wider context and explicit time-
+//     domain loss" as the paper characterizes it).
+
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+
+namespace spectra::core {
+
+SpectraGanConfig default_config();
+
+SpectraGanConfig pixel_context_config();  // SpectraGAN-
+SpectraGanConfig spec_only_config();
+SpectraGanConfig time_only_config();
+SpectraGanConfig time_only_plus_config();
+
+// Lookup by the names used in the paper's tables; throws on unknown name.
+SpectraGanConfig variant_config(const std::string& name);
+
+}  // namespace spectra::core

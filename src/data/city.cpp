@@ -1,0 +1,20 @@
+#include "data/city.h"
+
+#include "util/error.h"
+
+namespace spectra::data {
+
+City make_city(std::string name, long height, long width, long weeks, long minutes_per_step,
+               const TrafficProcessParams& params, Rng& rng) {
+  SG_CHECK(weeks > 0, "make_city requires at least one week of data");
+  City city;
+  city.name = std::move(name);
+  city.minutes_per_step = minutes_per_step;
+  city.latents = sample_latent_fields(height, width, rng);
+  city.context = derive_context(city.latents, rng);
+  const long steps = weeks * 7 * 24 * 60 / minutes_per_step;
+  city.traffic = synthesize_traffic(city.latents, steps, minutes_per_step, params, rng);
+  return city;
+}
+
+}  // namespace spectra::data

@@ -1,0 +1,35 @@
+// A City bundles a name, its context tensor, its ground-truth traffic and
+// the sampling granularity — one element of the multi-city datasets used
+// in the leave-one-city-out protocol (§4.1).
+
+#pragma once
+
+#include <string>
+
+#include "data/context.h"
+#include "data/traffic_process.h"
+#include "geo/city_tensor.h"
+
+namespace spectra::data {
+
+struct City {
+  std::string name;
+  geo::ContextTensor context;  // [27, H, W], channels peak-normalized
+  geo::CityTensor traffic;     // [T, H, W], peak-normalized to [0,1]
+  long minutes_per_step = 60;
+
+  long height() const { return traffic.height(); }
+  long width() const { return traffic.width(); }
+  long steps() const { return traffic.steps(); }
+  long steps_per_week() const { return 7 * 24 * 60 / minutes_per_step; }
+
+  // Latent fields kept for ground-truth-aware diagnostics (e.g. the
+  // Fig. 2 flow characterization); models never see them.
+  LatentFields latents;
+};
+
+// Build one synthetic city end to end.
+City make_city(std::string name, long height, long width, long weeks, long minutes_per_step,
+               const TrafficProcessParams& params, Rng& rng);
+
+}  // namespace spectra::data

@@ -1,0 +1,285 @@
+#include "data/context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::data {
+
+const std::vector<std::string>& context_attribute_names() {
+  static const std::vector<std::string> names = {
+      "Census",
+      "Continuous Urban",
+      "High Dense Urban",
+      "Medium Dense Urban",
+      "Low Dense Urban",
+      "Very-Low Dense Urban",
+      "Isolated Structures",
+      "Green Urban",
+      "Industrial/Commercial",
+      "Air/Sea Ports",
+      "Leisure Facilities",
+      "Barren Lands",
+      "Sea",
+      "Tourism",
+      "Cafe",
+      "Parking",
+      "Restaurant",
+      "Post/Police",
+      "Traffic Signals",
+      "Office",
+      "Public Transport",
+      "Shop",
+      "Secondary Roads",
+      "Primary Roads",
+      "Motorways",
+      "Railway Stations",
+      "Tram Stops",
+  };
+  return names;
+}
+
+namespace {
+
+// Smoothstep band: 1 inside [lo, hi] with soft edges of width `soft`.
+double band(double x, double lo, double hi, double soft) {
+  auto smooth = [](double t) {
+    t = std::clamp(t, 0.0, 1.0);
+    return t * t * (3.0 - 2.0 * t);
+  };
+  return smooth((x - lo) / soft + 0.5) * (1.0 - smooth((x - hi) / soft + 0.5));
+}
+
+double smoothstep(double x, double lo, double hi) {
+  const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+// Smooth random field in [0,1]: bilinear interpolation of a coarse white
+// noise lattice (cheap substitute for Perlin noise).
+geo::GridMap smooth_noise(long h, long w, long cell, Rng& rng) {
+  const long gh = h / cell + 2;
+  const long gw = w / cell + 2;
+  std::vector<double> lattice(static_cast<std::size_t>(gh * gw));
+  for (double& v : lattice) v = rng.uniform();
+  geo::GridMap out(h, w);
+  for (long i = 0; i < h; ++i) {
+    const double fi = static_cast<double>(i) / static_cast<double>(cell);
+    const long i0 = static_cast<long>(fi);
+    const double ti = fi - static_cast<double>(i0);
+    for (long j = 0; j < w; ++j) {
+      const double fj = static_cast<double>(j) / static_cast<double>(cell);
+      const long j0 = static_cast<long>(fj);
+      const double tj = fj - static_cast<double>(j0);
+      const double v00 = lattice[static_cast<std::size_t>(i0 * gw + j0)];
+      const double v01 = lattice[static_cast<std::size_t>(i0 * gw + j0 + 1)];
+      const double v10 = lattice[static_cast<std::size_t>((i0 + 1) * gw + j0)];
+      const double v11 = lattice[static_cast<std::size_t>((i0 + 1) * gw + j0 + 1)];
+      out.at(i, j) = v00 * (1 - ti) * (1 - tj) + v01 * (1 - ti) * tj + v10 * ti * (1 - tj) +
+                     v11 * ti * tj;
+    }
+  }
+  return out;
+}
+
+// Sum of isotropic Gaussian blobs.
+geo::GridMap gaussian_blobs(long h, long w, long count, double sigma_lo, double sigma_hi,
+                            double margin, Rng& rng) {
+  geo::GridMap out(h, w);
+  for (long b = 0; b < count; ++b) {
+    const double ci = rng.uniform(margin, static_cast<double>(h) - margin);
+    const double cj = rng.uniform(margin, static_cast<double>(w) - margin);
+    const double sigma = rng.uniform(sigma_lo, sigma_hi);
+    const double amp = rng.uniform(0.55, 1.0);
+    for (long i = 0; i < h; ++i) {
+      for (long j = 0; j < w; ++j) {
+        const double d2 = (i - ci) * (i - ci) + (j - cj) * (j - cj);
+        out.at(i, j) += amp * std::exp(-d2 / (2.0 * sigma * sigma));
+      }
+    }
+  }
+  const double peak = out.max();
+  if (peak > 0.0) out.scale(1.0 / peak);
+  return out;
+}
+
+// A handful of straight "roads": line segments with Gaussian cross-profile.
+geo::GridMap road_lines(long h, long w, long count, double width_px, Rng& rng) {
+  geo::GridMap out(h, w);
+  for (long r = 0; r < count; ++r) {
+    // Random line through a random interior point at a random angle.
+    const double pi0 = rng.uniform(0.15 * h, 0.85 * h);
+    const double pj0 = rng.uniform(0.15 * w, 0.85 * w);
+    const double angle = rng.uniform(0.0, M_PI);
+    const double di = std::sin(angle);
+    const double dj = std::cos(angle);
+    for (long i = 0; i < h; ++i) {
+      for (long j = 0; j < w; ++j) {
+        // Perpendicular distance from (i,j) to the line.
+        const double dist = std::fabs((i - pi0) * dj - (j - pj0) * di);
+        out.at(i, j) += std::exp(-dist * dist / (2.0 * width_px * width_px));
+      }
+    }
+  }
+  const double peak = out.max();
+  if (peak > 0.0) out.scale(1.0 / peak);
+  return out;
+}
+
+void normalize_channel(geo::GridMap& m) { m.normalize_peak(); }
+
+}  // namespace
+
+LatentFields sample_latent_fields(long height, long width, Rng& rng) {
+  SG_CHECK(height >= 8 && width >= 8, "city too small for latent field synthesis");
+
+  LatentFields f{
+      geo::GridMap(height, width), geo::GridMap(height, width), geo::GridMap(height, width),
+      geo::GridMap(height, width), geo::GridMap(height, width), geo::GridMap(height, width),
+      geo::GridMap(height, width), geo::GridMap(height, width)};
+
+  // Urban core: 1 main center + 1-3 subcenters, plus low-frequency texture.
+  const long subcenters = 1 + static_cast<long>(rng.uniform_index(3));
+  geo::GridMap cores = gaussian_blobs(height, width, 1 + subcenters,
+                                      0.12 * std::min(height, width), 0.28 * std::min(height, width),
+                                      0.2 * std::min(height, width), rng);
+  geo::GridMap texture = smooth_noise(height, width, std::max<long>(3, height / 5), rng);
+  for (long p = 0; p < cores.size(); ++p) {
+    f.urban[p] = std::clamp(0.8 * cores[p] + 0.25 * texture[p], 0.0, 1.0);
+  }
+
+  // Industrial districts: blobs offset from the core (industry sits at the
+  // urban fringe), masked away from the deepest center.
+  geo::GridMap ind = gaussian_blobs(height, width, 2, 0.08 * std::min(height, width),
+                                    0.16 * std::min(height, width), 1.0, rng);
+  for (long p = 0; p < ind.size(); ++p) {
+    f.industrial[p] = ind[p] * (1.0 - 0.6 * smoothstep(f.urban[p], 0.75, 0.95));
+  }
+
+  // Green areas: mid-scale patches, favoring mid-density urban rings.
+  geo::GridMap green = smooth_noise(height, width, std::max<long>(2, height / 6), rng);
+  for (long p = 0; p < green.size(); ++p) {
+    f.green[p] = smoothstep(green[p], 0.62, 0.85) * band(f.urban[p], 0.15, 0.75, 0.2);
+  }
+
+  // Sea: with probability 0.35 the city borders water on one side.
+  if (rng.bernoulli(0.35)) {
+    const int side = static_cast<int>(rng.uniform_index(4));
+    const double extent = rng.uniform(0.12, 0.28);
+    for (long i = 0; i < height; ++i) {
+      for (long j = 0; j < width; ++j) {
+        double coast = 0.0;
+        switch (side) {
+          case 0: coast = static_cast<double>(i) / height; break;
+          case 1: coast = 1.0 - static_cast<double>(i) / height; break;
+          case 2: coast = static_cast<double>(j) / width; break;
+          default: coast = 1.0 - static_cast<double>(j) / width; break;
+        }
+        f.sea.at(i, j) = coast < extent ? 1.0 : 0.0;
+      }
+    }
+    // Water suppresses everything else.
+    for (long p = 0; p < f.sea.size(); ++p) {
+      const double land = 1.0 - f.sea[p];
+      f.urban[p] *= land;
+      f.industrial[p] *= land;
+      f.green[p] *= land;
+    }
+  }
+
+  // Road networks at three scales.
+  f.roads_minor = road_lines(height, width, 5, 0.8, rng);
+  f.roads_major = road_lines(height, width, 3, 1.0, rng);
+  f.motorways = road_lines(height, width, 2, 1.2, rng);
+  for (long p = 0; p < f.roads_minor.size(); ++p) {
+    const double land = 1.0 - f.sea[p];
+    // Minor roads track the urban fabric; motorways skirt the periphery.
+    f.roads_minor[p] *= land * (0.3 + 0.7 * f.urban[p]);
+    f.roads_major[p] *= land * (0.4 + 0.6 * f.urban[p]);
+    f.motorways[p] *= land * (1.0 - 0.5 * smoothstep(f.urban[p], 0.5, 0.9));
+  }
+
+  // Business mix theta: industrial/office districts lead daytime activity;
+  // residential areas lead evenings. Smooth by construction (latents are
+  // smooth), which is what creates the peak-flow phenomenon of Fig. 2.
+  for (long p = 0; p < f.business_mix.size(); ++p) {
+    const double business = 0.65 * f.industrial[p] + 0.35 * smoothstep(f.urban[p], 0.65, 0.95);
+    const double residential = band(f.urban[p], 0.25, 0.75, 0.25);
+    f.business_mix[p] = std::clamp(0.15 + 0.7 * business / (business + residential + 0.25), 0.0, 1.0);
+  }
+
+  return f;
+}
+
+geo::ContextTensor derive_context(const LatentFields& f, Rng& rng) {
+  const long h = f.urban.height();
+  const long w = f.urban.width();
+  geo::ContextTensor context(kNumContextChannels, h, w);
+
+  // Per-channel scratch map filled below, then peak-normalized.
+  std::vector<geo::GridMap> channels(kNumContextChannels, geo::GridMap(h, w));
+
+  geo::GridMap obs_noise = smooth_noise(h, w, 3, rng);
+
+  for (long i = 0; i < h; ++i) {
+    for (long j = 0; j < w; ++j) {
+      const long p = i * w + j;
+      const double U = f.urban[p];
+      const double I = f.industrial[p];
+      const double G = f.green[p];
+      const double S = f.sea[p];
+      const double Rmin = f.roads_minor[p];
+      const double Rmaj = f.roads_major[p];
+      const double Rmot = f.motorways[p];
+
+      // Census: inhabitants track urban intensity with heavy-tailed
+      // observation noise (PCC ~ 0.6 in Table 1).
+      channels[kCensus][p] = std::pow(U, 1.2) * rng.lognormal(0.0, 0.35);
+
+      // Urban Atlas density classes occupy bands of U.
+      channels[kContinuousUrban][p] = smoothstep(U, 0.55, 0.85) + 0.05 * obs_noise[p];
+      channels[kHighDenseUrban][p] = band(U, 0.45, 0.65, 0.12) + 0.08 * obs_noise[p];
+      channels[kMediumDenseUrban][p] = band(U, 0.3, 0.48, 0.12) + 0.1 * obs_noise[p];
+      channels[kLowDenseUrban][p] = band(U, 0.18, 0.32, 0.1) + 0.1 * obs_noise[p];
+      channels[kVeryLowDenseUrban][p] = band(U, 0.08, 0.2, 0.08) + 0.1 * obs_noise[p];
+      channels[kIsolatedStructures][p] = band(U, 0.02, 0.1, 0.05) * (1.0 - S) + 0.08 * obs_noise[p];
+      channels[kGreenUrban][p] = G;
+      channels[kIndustrialCommercial][p] = I;
+      // Ports exist only for coastal/fringe cities; mostly uncorrelated.
+      channels[kAirSeaPorts][p] = (S > 0.0 ? 0.0 : 1.0) * band(U, 0.05, 0.25, 0.1) *
+                                  (rng.bernoulli(0.02) ? rng.uniform(0.5, 1.0) : 0.0);
+      channels[kLeisureFacilities][p] = 0.6 * G + 0.25 * band(U, 0.4, 0.7, 0.2) + 0.1 * obs_noise[p];
+      channels[kBarrenLands][p] = smoothstep(1.0 - U, 0.82, 0.98) * (1.0 - S);
+      channels[kSea][p] = S;
+
+      // PoIs: Poisson counts with intensity driven by urban fabric.
+      const double u2 = U * U;
+      channels[kTourism][p] = rng.poisson(6.0 * u2 * (0.5 + 0.5 * G + 0.3 * obs_noise[p]));
+      channels[kCafe][p] = rng.poisson(9.0 * u2);
+      channels[kParking][p] = rng.poisson(3.0 * (0.4 * U + 0.4 * I + 0.2 * Rmaj));
+      channels[kRestaurant][p] = rng.poisson(10.0 * u2 * (0.8 + 0.2 * I));
+      channels[kPostPolice][p] = rng.poisson(1.5 * (0.5 * U + 0.2 * I));
+      channels[kTrafficSignals][p] = rng.poisson(5.0 * (0.5 * U * Rmin + 0.3 * U * Rmaj + 0.2 * u2));
+      channels[kOffice][p] = rng.poisson(7.0 * (0.55 * u2 + 0.45 * U * I));
+      channels[kPublicTransport][p] = rng.poisson(5.0 * (0.6 * U + 0.4 * Rmaj) * U);
+      channels[kShop][p] = rng.poisson(11.0 * u2 * (0.85 + 0.15 * Rmin));
+
+      // Transport infrastructure.
+      channels[kSecondaryRoads][p] = Rmin * (0.6 + 0.4 * obs_noise[p]);
+      channels[kPrimaryRoads][p] = Rmaj * (0.7 + 0.3 * obs_noise[p]);
+      channels[kMotorways][p] = Rmot;
+      channels[kRailwayStations][p] =
+          rng.bernoulli(0.04 * (0.3 + 0.7 * U)) ? rng.uniform(0.5, 1.0) : 0.0;
+      channels[kTramStops][p] = rng.poisson(2.0 * U * (0.5 * Rmin + 0.5 * Rmaj));
+    }
+  }
+
+  for (long c = 0; c < kNumContextChannels; ++c) {
+    normalize_channel(channels[c]);
+    for (long p = 0; p < h * w; ++p) context.at(c, p / w, p % w) = channels[c][p];
+  }
+  return context;
+}
+
+}  // namespace spectra::data

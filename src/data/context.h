@@ -1,0 +1,81 @@
+// Synthetic urban-context generator.
+//
+// Substitutes the paper's public context sources (census, Copernicus
+// Urban Atlas land use, OpenStreetMap PoIs — Table 1, 27 attributes) with
+// a procedural model. A city is built from a small set of latent fields
+// (urban-core intensity, industrial blobs, green patches, optional sea,
+// road network); the 27 attribute channels of Table 1 are derived from
+// those fields with per-attribute mixing weights chosen so their Pearson
+// correlation with the synthetic traffic lands in the ranges the paper
+// reports (strong for census/continuous-urban/cafe/restaurant/shop,
+// negative for barren land/sea, near zero for ports/motorways).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/city_tensor.h"
+#include "util/rng.h"
+
+namespace spectra::data {
+
+// Fixed channel order of the 27 context attributes (matches Table 1).
+enum ContextChannel : long {
+  kCensus = 0,
+  kContinuousUrban,
+  kHighDenseUrban,
+  kMediumDenseUrban,
+  kLowDenseUrban,
+  kVeryLowDenseUrban,
+  kIsolatedStructures,
+  kGreenUrban,
+  kIndustrialCommercial,
+  kAirSeaPorts,
+  kLeisureFacilities,
+  kBarrenLands,
+  kSea,
+  kTourism,
+  kCafe,
+  kParking,
+  kRestaurant,
+  kPostPolice,
+  kTrafficSignals,
+  kOffice,
+  kPublicTransport,
+  kShop,
+  kSecondaryRoads,
+  kPrimaryRoads,
+  kMotorways,
+  kRailwayStations,
+  kTramStops,
+  kNumContextChannels  // == 27
+};
+
+// Human-readable names, index-aligned with ContextChannel.
+const std::vector<std::string>& context_attribute_names();
+
+// Latent fields from which both context channels and the ground-truth
+// traffic process are derived. Exposed so the traffic process can use the
+// *latents* (not the noisy observed channels), mirroring reality where
+// public context is an imperfect proxy of what drives traffic.
+struct LatentFields {
+  geo::GridMap urban;        // U in [0,1]: urban-core intensity
+  geo::GridMap industrial;   // I in [0,1]: industrial/commercial districts
+  geo::GridMap green;        // G in [0,1]: parks / leisure areas
+  geo::GridMap sea;          // S in {0..1}: water body mask (may be all 0)
+  geo::GridMap roads_minor;  // secondary road density
+  geo::GridMap roads_major;  // primary road density
+  geo::GridMap motorways;    // ring/motorway density
+  geo::GridMap business_mix; // theta in [0,1]: business- vs residential-led activity
+};
+
+// Sample latent fields for an H x W city.
+LatentFields sample_latent_fields(long height, long width, Rng& rng);
+
+// Derive the 27-channel context tensor from latents (each channel
+// normalized to [0,1] by its own peak, as the real pipeline normalizes
+// heterogeneous public sources).
+geo::ContextTensor derive_context(const LatentFields& latents, Rng& rng);
+
+}  // namespace spectra::data

@@ -1,0 +1,59 @@
+#include "data/sampler.h"
+
+#include "util/error.h"
+
+namespace spectra::data {
+
+PatchSampler::PatchSampler(const CountryDataset& dataset,
+                           const std::vector<std::size_t>& city_indices,
+                           const geo::PatchSpec& spec, long time_offset, long train_steps)
+    : spec_(spec), time_offset_(time_offset), train_steps_(train_steps) {
+  spec_.validate();
+  SG_CHECK(!city_indices.empty(), "PatchSampler requires at least one training city");
+  SG_CHECK(train_steps > 0, "PatchSampler requires train_steps > 0");
+  for (std::size_t index : city_indices) {
+    SG_CHECK(index < dataset.cities.size(), "city index out of range");
+    const City& city = dataset.cities[index];
+    SG_CHECK(time_offset >= 0 && time_offset + train_steps <= city.steps(),
+             "training window exceeds available traffic for " + city.name);
+    for (const geo::PatchWindow& window :
+         geo::enumerate_windows(city.height(), city.width(), spec_)) {
+      candidates_.push_back({&city, window});
+    }
+  }
+  SG_CHECK(!candidates_.empty(), "no candidate windows");
+}
+
+std::size_t PatchSampler::window_count() const { return candidates_.size(); }
+
+PatchBatch PatchSampler::sample(long batch, Rng& rng) const {
+  SG_CHECK(batch > 0, "batch must be positive");
+  PatchBatch out;
+  out.batch = batch;
+  out.channels = kNumContextChannels;
+  out.context_h = spec_.context_h;
+  out.context_w = spec_.context_w;
+  out.steps = train_steps_;
+  out.traffic_h = spec_.traffic_h;
+  out.traffic_w = spec_.traffic_w;
+  out.context.reserve(static_cast<std::size_t>(batch * out.channels * out.context_h * out.context_w));
+  out.traffic.reserve(static_cast<std::size_t>(batch * out.steps * out.traffic_h * out.traffic_w));
+
+  for (long b = 0; b < batch; ++b) {
+    const Candidate& cand = candidates_[rng.uniform_index(candidates_.size())];
+    const std::vector<float> ctx = geo::extract_context_patch(cand.city->context, cand.window, spec_);
+    out.context.insert(out.context.end(), ctx.begin(), ctx.end());
+    const geo::CityTensor& traffic = cand.city->traffic;
+    for (long t = 0; t < train_steps_; ++t) {
+      for (long i = 0; i < spec_.traffic_h; ++i) {
+        for (long j = 0; j < spec_.traffic_w; ++j) {
+          out.traffic.push_back(static_cast<float>(
+              traffic.at(time_offset_ + t, cand.window.row + i, cand.window.col + j)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spectra::data

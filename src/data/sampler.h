@@ -1,0 +1,54 @@
+// Minibatch sampling of (context patch, traffic patch) pairs for
+// adversarial training (§2.2.1). Returns plain float buffers + shape
+// metadata so the data layer stays independent of the autograd stack.
+
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/patching.h"
+#include "util/rng.h"
+
+namespace spectra::data {
+
+struct PatchBatch {
+  long batch = 0;
+  long channels = 0;   // C
+  long context_h = 0;  // Hc
+  long context_w = 0;  // Wc
+  long steps = 0;      // T
+  long traffic_h = 0;  // Ht
+  long traffic_w = 0;  // Wt
+  std::vector<float> context;  // [B, C, Hc, Wc]
+  std::vector<float> traffic;  // [B, T, Ht, Wt]
+};
+
+class PatchSampler {
+ public:
+  // `train_steps` selects traffic[time_offset, time_offset+train_steps) —
+  // the paper trains on one week and generates three (§4.1).
+  PatchSampler(const CountryDataset& dataset, const std::vector<std::size_t>& city_indices,
+               const geo::PatchSpec& spec, long time_offset, long train_steps);
+
+  // Uniformly sample `batch` (city, window) pairs.
+  PatchBatch sample(long batch, Rng& rng) const;
+
+  // Total number of candidate windows across all training cities.
+  std::size_t window_count() const;
+
+  const geo::PatchSpec& spec() const { return spec_; }
+  long train_steps() const { return train_steps_; }
+
+ private:
+  struct Candidate {
+    const City* city;
+    geo::PatchWindow window;
+  };
+  std::vector<Candidate> candidates_;
+  geo::PatchSpec spec_;
+  long time_offset_;
+  long train_steps_;
+};
+
+}  // namespace spectra::data

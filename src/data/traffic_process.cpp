@@ -1,0 +1,106 @@
+#include "data/traffic_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::data {
+
+TrafficProcessParams country1_params() {
+  return TrafficProcessParams{};  // defaults describe Country 1
+}
+
+TrafficProcessParams country2_params() {
+  TrafficProcessParams p;
+  // A different operator: flatter diurnal swing, noisier measurements,
+  // higher relative mean (cf. Tables 9-10: Country 2 means are ~4x higher).
+  p.amplitude_floor = 0.06;
+  p.mean_level = 1.35;
+  p.diurnal_amp = 0.7;
+  p.semidiurnal_amp = 0.22;
+  p.weekly_amp = 0.28;
+  p.residual_sigma = 0.14;
+  p.business_weekend_damp = 0.55;
+  return p;
+}
+
+double periodic_profile(double hours, double business_mix, const TrafficProcessParams& params) {
+  const double theta = std::clamp(business_mix, 0.0, 1.0);
+  // Diurnal peak drifts from ~20:30 (residential) to ~13:00 (business);
+  // the smooth spatial variation of theta is what moves traffic peaks
+  // between neighbouring pixels over the day (Fig. 2).
+  const double peak_hour = 20.5 - 7.5 * theta;
+  const double w_day = 2.0 * M_PI / 24.0;
+  const double w_week = 2.0 * M_PI / 168.0;
+
+  double v = params.mean_level;
+  v += params.diurnal_amp * std::cos(w_day * (hours - peak_hour));
+  v += params.semidiurnal_amp * std::cos(2.0 * w_day * (hours - peak_hour - 2.0));
+  v += params.weekly_amp * std::cos(w_week * (hours - 24.0 * 2.5));
+  v += params.semiweekly_amp * std::cos(2.0 * w_week * hours);
+
+  // Weekday/weekend dichotomy: business-led traffic collapses on weekends
+  // (days 5 and 6 of the cycle), residential traffic rises slightly.
+  const double day_of_week = std::fmod(hours / 24.0, 7.0);
+  const bool weekend = day_of_week >= 5.0;
+  if (weekend) {
+    v *= (1.0 - theta) * 1.08 + theta * params.business_weekend_damp;
+  }
+  return std::max(v, 0.0);
+}
+
+geo::CityTensor synthesize_traffic(const LatentFields& latents, long steps, long minutes_per_step,
+                                   const TrafficProcessParams& params, Rng& rng) {
+  SG_CHECK(steps > 0, "synthesize_traffic requires steps > 0");
+  SG_CHECK(minutes_per_step > 0 && 60 % minutes_per_step == 0,
+           "minutes_per_step must divide 60");
+  const long h = latents.urban.height();
+  const long w = latents.urban.width();
+  geo::CityTensor traffic(steps, h, w);
+
+  // Per-pixel amplitude from the latent urban fabric; exponent > 1 plus a
+  // log-normal factor yields the heavy-tailed spatial distribution of
+  // Fig. 12 (most pixels faint, a few hotspots near 1).
+  geo::GridMap amplitude(h, w);
+  for (long i = 0; i < h; ++i) {
+    for (long j = 0; j < w; ++j) {
+      const long p = i * w + j;
+      const double land = 1.0 - latents.sea[p];
+      const double drive = 0.55 * latents.urban[p] + 0.22 * latents.industrial[p] +
+                           0.13 * latents.roads_major[p] + 0.10 * latents.green[p] * 0.3;
+      const double amp = std::pow(std::max(drive, 0.0), 1.6) * rng.lognormal(0.0, 0.25);
+      amplitude.at(i, j) = land * std::max(amp, params.amplitude_floor * land);
+    }
+  }
+
+  // AR(1) residual state per pixel.
+  std::vector<double> residual(static_cast<std::size_t>(h * w), 0.0);
+  const double hours_per_step = static_cast<double>(minutes_per_step) / 60.0;
+
+  for (long t = 0; t < steps; ++t) {
+    const double hours = static_cast<double>(t) * hours_per_step;
+    for (long i = 0; i < h; ++i) {
+      for (long j = 0; j < w; ++j) {
+        const long p = i * w + j;
+        if (latents.sea[p] >= 1.0) {
+          traffic.at(t, i, j) = 0.0;
+          continue;
+        }
+        const double base = periodic_profile(hours, latents.business_mix[p], params);
+        double& eps = residual[static_cast<std::size_t>(p)];
+        eps = params.residual_rho * eps +
+              rng.normal(0.0, params.residual_sigma * std::sqrt(1.0 - params.residual_rho *
+                                                                          params.residual_rho));
+        double v = amplitude.at(i, j) * std::max(base + eps, 0.0);
+        if (rng.bernoulli(params.burst_rate)) v *= params.burst_scale;
+        traffic.at(t, i, j) = v;
+      }
+    }
+  }
+
+  traffic.normalize_peak();
+  return traffic;
+}
+
+}  // namespace spectra::data

@@ -1,0 +1,56 @@
+// Ground-truth spatiotemporal traffic process.
+//
+// Substitutes the operators' measured traffic with a generative process
+// engineered to reproduce the empirical facts the paper reports:
+//   * per-pixel series dominated by a handful of frequency components —
+//     diurnal, semi-diurnal, weekly, semi-weekly (Fig. 1d);
+//   * a smooth residential-vs-business activity mix that shifts the
+//     diurnal peak phase across space, creating the traffic-flow
+//     phenomenon of Fig. 2;
+//   * weekday/weekend dichotomy (business activity damped on weekends);
+//   * heavy-tailed pixel amplitudes driven by the urban context, with
+//     log-normal-ish marginals (Appendix A);
+//   * AR(1) small-scale residual noise on top of the periodic part
+//     (Fig. 1f).
+// Traffic is normalized by the city's peak, exactly as the paper's
+// datasets are anonymized.
+
+#pragma once
+
+#include "data/context.h"
+#include "geo/city_tensor.h"
+#include "util/rng.h"
+
+namespace spectra::data {
+
+// Operator/country-level parameterization: the two countries in the study
+// are measured by different operators with different customer bases, so
+// their traffic differs in scale and noise (Tables 9-10).
+struct TrafficProcessParams {
+  double amplitude_floor = 0.02;   // minimum relative activity on land
+  double business_weekend_damp = 0.5;  // business activity factor on weekends
+  double residual_sigma = 0.10;    // AR(1) residual scale (fraction of amplitude)
+  double residual_rho = 0.6;       // AR(1) correlation
+  double burst_rate = 0.004;       // probability of a traffic burst per pixel-step
+  double burst_scale = 1.6;        // burst multiplier
+  double diurnal_amp = 0.85;       // amplitude of the 24 h component
+  double semidiurnal_amp = 0.30;   // amplitude of the 12 h component
+  double weekly_amp = 0.22;        // amplitude of the 168 h component
+  double semiweekly_amp = 0.10;    // amplitude of the 84 h component
+  double mean_level = 1.0;         // DC level before normalization
+};
+
+// Parameter sets mirroring the two countries' datasets.
+TrafficProcessParams country1_params();
+TrafficProcessParams country2_params();
+
+// Synthesize `steps` samples at `minutes_per_step` granularity for the
+// city described by `latents`. Output is peak-normalized to [0,1].
+geo::CityTensor synthesize_traffic(const LatentFields& latents, long steps, long minutes_per_step,
+                                   const TrafficProcessParams& params, Rng& rng);
+
+// The deterministic periodic template for one pixel (before amplitude
+// scaling and noise); exposed for tests and the Fig. 1 characterization.
+double periodic_profile(double hours, double business_mix, const TrafficProcessParams& params);
+
+}  // namespace spectra::data

@@ -1,0 +1,37 @@
+#include "dsp/autocorr.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::dsp {
+
+std::vector<double> autocorrelation(const std::vector<double>& series, long max_lag) {
+  const long n = static_cast<long>(series.size());
+  SG_CHECK(n >= 2, "autocorrelation requires at least two samples");
+  SG_CHECK(max_lag >= 0 && max_lag < n, "autocorrelation lag out of range");
+
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (double v : series) var += (v - mean) * (v - mean);
+
+  std::vector<double> r(static_cast<std::size_t>(max_lag) + 1, 0.0);
+  // Constant series (up to floating-point accumulation noise): all zero
+  // by convention.
+  if (var <= 1e-16 * static_cast<double>(n) * (mean * mean + 1.0)) return r;
+
+  for (long lag = 0; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (long t = 0; t + lag < n; ++t) {
+      acc += (series[static_cast<std::size_t>(t)] - mean) *
+             (series[static_cast<std::size_t>(t + lag)] - mean);
+    }
+    r[static_cast<std::size_t>(lag)] = acc / var;
+  }
+  return r;
+}
+
+}  // namespace spectra::dsp

@@ -1,0 +1,15 @@
+// Sample autocorrelation of a time series, the basis of the AC-L1
+// temporal-fidelity metric (§3.2).
+
+#pragma once
+
+#include <vector>
+
+namespace spectra::dsp {
+
+// Normalized autocorrelation r(l) for lags l = 0..max_lag (inclusive).
+// r(0) == 1 whenever the series has positive variance; a constant series
+// yields r(l) = 0 for l > 0 by convention.
+std::vector<double> autocorrelation(const std::vector<double>& series, long max_lag);
+
+}  // namespace spectra::dsp

@@ -1,0 +1,33 @@
+#include "dsp/expansion.h"
+
+#include "util/error.h"
+
+namespace spectra::dsp {
+
+long expanded_length(long base_bins, long k) {
+  SG_CHECK(base_bins >= 1 && k >= 1, "expanded_length requires positive arguments");
+  return k * (base_bins - 1) + 1;
+}
+
+std::vector<Complex> expand_frequency(const std::vector<Complex>& spectrum, long k) {
+  SG_CHECK(k >= 1, "expand_frequency requires k >= 1");
+  const long f = static_cast<long>(spectrum.size());
+  const long f_prime = expanded_length(f, k);
+  std::vector<Complex> out(static_cast<std::size_t>(f_prime), Complex(0.0, 0.0));
+  // Every k-th bin takes the base value scaled by k so the total energy is
+  // multiplied by k (the signal is k times longer).
+  for (long i = 0; i < f; ++i) {
+    out[static_cast<std::size_t>(k * i)] = spectrum[static_cast<std::size_t>(i)] * static_cast<double>(k);
+  }
+  return out;
+}
+
+std::vector<double> synthesize_expanded(const std::vector<Complex>& base_spectrum, long base_length,
+                                        long k) {
+  SG_CHECK(static_cast<long>(base_spectrum.size()) == base_length / 2 + 1,
+           "base spectrum size must be base_length/2+1");
+  const std::vector<Complex> expanded = expand_frequency(base_spectrum, k);
+  return irfft(expanded, k * base_length);
+}
+
+}  // namespace spectra::dsp

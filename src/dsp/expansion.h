@@ -1,0 +1,26 @@
+// k-multiple frequency-vector expansion (paper §2.2.4 & Fig. 4, justified
+// in Appendix C): to synthesize a time series k times longer than the
+// training window, place each trained bin f[i] at index k*i of a zeroed
+// vector of length k*(F-1)+1 and scale by k, preserving total energy.
+
+#pragma once
+
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace spectra::dsp {
+
+// Expanded spectrum length for a base length F and factor k.
+long expanded_length(long base_bins, long k);
+
+// Expand an rfft spectrum of a length-T signal so irfft of the result
+// yields a length k*T signal repeating the base periodicities.
+std::vector<Complex> expand_frequency(const std::vector<Complex>& spectrum, long k);
+
+// Convenience: synthesize a length k*T signal directly from a base
+// spectrum of a length-T signal.
+std::vector<double> synthesize_expanded(const std::vector<Complex>& base_spectrum, long base_length,
+                                        long k);
+
+}  // namespace spectra::dsp

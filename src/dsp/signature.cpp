@@ -1,0 +1,77 @@
+#include "dsp/signature.h"
+
+#include "util/error.h"
+
+namespace spectra::dsp {
+
+long signature_size(long d, int depth) {
+  SG_CHECK(d >= 1 && depth >= 1 && depth <= 3, "signature_size: invalid arguments");
+  long total = d;
+  if (depth >= 2) total += d * d;
+  if (depth >= 3) total += d * d * d;
+  return total;
+}
+
+std::vector<double> signature_transform(const std::vector<std::vector<double>>& series, int depth,
+                                        bool time_augment) {
+  SG_CHECK(depth >= 1 && depth <= 3, "signature depth must be 1..3");
+  SG_CHECK(series.size() >= 2, "signature requires at least two time steps");
+  const std::size_t steps = series.size();
+  const std::size_t base_d = series[0].size();
+  SG_CHECK(base_d >= 1, "signature requires at least one channel");
+  for (const auto& row : series) {
+    SG_CHECK(row.size() == base_d, "signature series must be rectangular");
+  }
+  const std::size_t d = base_d + (time_augment ? 1 : 0);
+
+  auto point_at = [&](std::size_t t) {
+    std::vector<double> p;
+    p.reserve(d);
+    if (time_augment) {
+      p.push_back(static_cast<double>(t) / static_cast<double>(steps - 1));
+    }
+    p.insert(p.end(), series[t].begin(), series[t].end());
+    return p;
+  };
+
+  std::vector<double> s1(d, 0.0);
+  std::vector<double> s2(depth >= 2 ? d * d : 0, 0.0);
+  std::vector<double> s3(depth >= 3 ? d * d * d : 0, 0.0);
+
+  std::vector<double> prev = point_at(0);
+  for (std::size_t t = 1; t < steps; ++t) {
+    const std::vector<double> cur = point_at(t);
+    std::vector<double> dx(d);
+    for (std::size_t i = 0; i < d; ++i) dx[i] = cur[i] - prev[i];
+
+    // Order matters: higher levels consume the *previous* lower levels.
+    if (depth >= 3) {
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          for (std::size_t k = 0; k < d; ++k) {
+            s3[(i * d + j) * d + k] += s2[i * d + j] * dx[k] + s1[i] * dx[j] * dx[k] / 2.0 +
+                                       dx[i] * dx[j] * dx[k] / 6.0;
+          }
+        }
+      }
+    }
+    if (depth >= 2) {
+      for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          s2[i * d + j] += s1[i] * dx[j] + dx[i] * dx[j] / 2.0;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < d; ++i) s1[i] += dx[i];
+    prev = cur;
+  }
+
+  std::vector<double> out;
+  out.reserve(s1.size() + s2.size() + s3.size());
+  out.insert(out.end(), s1.begin(), s1.end());
+  out.insert(out.end(), s2.begin(), s2.end());
+  out.insert(out.end(), s3.begin(), s3.end());
+  return out;
+}
+
+}  // namespace spectra::dsp

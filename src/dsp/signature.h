@@ -1,0 +1,32 @@
+// Truncated path-signature transform (Chen iterated integrals) of a
+// multivariate time series, used as the neutral embedding for the FVD
+// metric (§3.2: the paper replaces a pretrained video network with a
+// signature transform to avoid embedding bias).
+//
+// For a piecewise-linear path X: [0,1] -> R^d the depth-m signature is
+// accumulated segment by segment:
+//   level 1:  S1 += dx
+//   level 2:  S2 += S1_prev (x) dx + (dx (x) dx) / 2
+//   level 3:  S3 += S2_prev (x) dx + S1_prev (x) (dx (x) dx) / 2
+//                 + (dx (x) dx (x) dx) / 6
+// which is exact for linear segments (the signature of a straight segment
+// is the tensor exponential of its increment).
+
+#pragma once
+
+#include <vector>
+
+namespace spectra::dsp {
+
+// `series[t]` is the d-dimensional observation at step t. Returns the
+// concatenation of signature levels 1..depth (d + d^2 [+ d^3] values).
+// depth must be 1, 2 or 3. The path is time-augmented when
+// `time_augment` is true (prepends a uniform time coordinate, making the
+// signature sensitive to parametrization — recommended for FVD).
+std::vector<double> signature_transform(const std::vector<std::vector<double>>& series, int depth,
+                                        bool time_augment = true);
+
+// Number of output values for dimension d and depth m.
+long signature_size(long d, int depth);
+
+}  // namespace spectra::dsp

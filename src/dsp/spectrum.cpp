@@ -1,0 +1,85 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace spectra::dsp {
+
+std::vector<float> pack_interleaved(const std::vector<Complex>& spectrum) {
+  std::vector<float> out;
+  out.reserve(spectrum.size() * 2);
+  for (const Complex& c : spectrum) {
+    out.push_back(static_cast<float>(c.real()));
+    out.push_back(static_cast<float>(c.imag()));
+  }
+  return out;
+}
+
+std::vector<Complex> unpack_interleaved(const std::vector<float>& interleaved) {
+  SG_CHECK(interleaved.size() % 2 == 0, "interleaved spectrum must have even size");
+  std::vector<Complex> out;
+  out.reserve(interleaved.size() / 2);
+  for (std::size_t i = 0; i < interleaved.size(); i += 2) {
+    out.emplace_back(static_cast<double>(interleaved[i]), static_cast<double>(interleaved[i + 1]));
+  }
+  return out;
+}
+
+std::vector<double> magnitudes(const std::vector<Complex>& spectrum) {
+  std::vector<double> out;
+  out.reserve(spectrum.size());
+  for (const Complex& c : spectrum) out.push_back(std::abs(c));
+  return out;
+}
+
+double quantile(std::vector<double> values, double q) {
+  SG_CHECK(!values.empty(), "quantile of empty vector");
+  SG_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<bool> quantile_mask_bits(const std::vector<Complex>& spectrum, double q) {
+  const std::vector<double> mags = magnitudes(spectrum);
+  const double threshold = quantile(mags, q);
+  std::vector<bool> mask(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) mask[i] = mags[i] > threshold;
+  return mask;
+}
+
+std::vector<Complex> quantile_mask(const std::vector<Complex>& spectrum, double q) {
+  const std::vector<bool> mask = quantile_mask_bits(spectrum, q);
+  std::vector<Complex> out(spectrum.size(), Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    if (mask[i]) out[i] = spectrum[i];
+  }
+  return out;
+}
+
+std::vector<Complex> top_k_components(const std::vector<Complex>& spectrum, long k) {
+  SG_CHECK(k >= 0, "top_k_components requires k >= 0");
+  const std::vector<double> mags = magnitudes(spectrum);
+  std::vector<std::size_t> order(spectrum.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&mags](std::size_t a, std::size_t b) { return mags[a] > mags[b]; });
+  std::vector<Complex> out(spectrum.size(), Complex(0.0, 0.0));
+  const std::size_t keep = std::min<std::size_t>(static_cast<std::size_t>(k), spectrum.size());
+  for (std::size_t i = 0; i < keep; ++i) out[order[i]] = spectrum[order[i]];
+  return out;
+}
+
+std::vector<double> reconstruct_top_k(const std::vector<double>& series, long k) {
+  const std::vector<Complex> spec = rfft(series);
+  const std::vector<Complex> kept = top_k_components(spec, k);
+  return irfft(kept, static_cast<long>(series.size()));
+}
+
+}  // namespace spectra::dsp

@@ -1,0 +1,40 @@
+// Spectrum utilities around the masked-Fourier representation at the core
+// of SpectraGAN (§2.1.3, §2.2.3): quantile masking M^q, top-k component
+// reconstruction (Fig. 1e), and interleaved real<->complex packing used
+// when spectra flow through the float tensor stack.
+
+#pragma once
+
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace spectra::dsp {
+
+// Pack complex bins as interleaved [re0, im0, re1, im1, ...] floats.
+std::vector<float> pack_interleaved(const std::vector<Complex>& spectrum);
+
+// Inverse of pack_interleaved; size must be even.
+std::vector<Complex> unpack_interleaved(const std::vector<float>& interleaved);
+
+// Magnitudes |f_k| of each bin.
+std::vector<double> magnitudes(const std::vector<Complex>& spectrum);
+
+// The q-quantile (q in [0,1]) of the given values (linear interpolation).
+double quantile(std::vector<double> values, double q);
+
+// Masked spectrum M^q(y): zero every bin whose magnitude is <= the
+// q-quantile of the magnitudes (paper §2.2.3: m = I(FFT(x) > y^q)).
+std::vector<Complex> quantile_mask(const std::vector<Complex>& spectrum, double q);
+
+// Boolean mask corresponding to quantile_mask.
+std::vector<bool> quantile_mask_bits(const std::vector<Complex>& spectrum, double q);
+
+// Keep only the k bins with the largest magnitudes (the "5 significant
+// components" reconstruction of Fig. 1e); all other bins zeroed.
+std::vector<Complex> top_k_components(const std::vector<Complex>& spectrum, long k);
+
+// Reconstruct a time series from the top-k components of its spectrum.
+std::vector<double> reconstruct_top_k(const std::vector<double>& series, long k);
+
+}  // namespace spectra::dsp

@@ -1,0 +1,103 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace spectra::eval {
+
+CsvWriter metrics_table(const std::vector<MetricRow>& rows, bool include_fvd, bool include_city) {
+  std::vector<std::string> header;
+  if (include_city) header.push_back("City");
+  header.insert(header.end(), {"Method", "M-TV", "SSIM", "AC-L1", "TSTR"});
+  if (include_fvd) header.push_back("FVD");
+
+  CsvWriter table(header);
+  for (const MetricRow& row : rows) {
+    std::vector<std::string> cells;
+    if (include_city) cells.push_back(row.city);
+    cells.push_back(row.method);
+    cells.push_back(CsvWriter::num(row.m_tv, 3));
+    cells.push_back(CsvWriter::num(row.ssim, 3));
+    cells.push_back(CsvWriter::num(row.ac_l1, 3));
+    cells.push_back(CsvWriter::num(row.tstr, 3));
+    if (include_fvd) {
+      cells.push_back(std::isnan(row.fvd) ? "-" : CsvWriter::num(row.fvd, 3));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+void emit_table(const CsvWriter& table, const std::string& title, const std::string& csv_path) {
+  std::cout << "\n== " << title << " ==\n" << render_table(table);
+  if (!csv_path.empty()) {
+    if (table.write(csv_path)) {
+      std::cout << "(csv: " << csv_path << ")\n";
+    } else {
+      SG_LOG_WARN << "could not write " << csv_path;
+    }
+  }
+}
+
+std::string ascii_map(const geo::GridMap& map) {
+  static const char* kRamp = " .:-=+*#%@";
+  const double peak = map.size() > 0 ? map.max() : 0.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>((map.width() + 1) * map.height()));
+  for (long i = 0; i < map.height(); ++i) {
+    for (long j = 0; j < map.width(); ++j) {
+      const double v = peak > 0.0 ? map.at(i, j) / peak : 0.0;
+      const int level = std::min(9, static_cast<int>(v * 10.0));
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_pgm(const geo::GridMap& map, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << map.width() << " " << map.height() << "\n255\n";
+  const double peak = map.size() > 0 ? map.max() : 0.0;
+  for (long i = 0; i < map.height(); ++i) {
+    for (long j = 0; j < map.width(); ++j) {
+      const double v = peak > 0.0 ? map.at(i, j) / peak : 0.0;
+      const unsigned char level =
+          static_cast<unsigned char>(std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+      out.write(reinterpret_cast<const char*>(&level), 1);
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+CsvWriter series_table(const std::vector<double>& series, const std::string& value_name) {
+  CsvWriter table({"t", value_name});
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    table.add_row({std::to_string(t), CsvWriter::num(series[t], 6)});
+  }
+  return table;
+}
+
+CsvWriter multi_series_table(const std::vector<std::string>& names,
+                             const std::vector<std::vector<double>>& series) {
+  SG_CHECK(names.size() == series.size() && !series.empty(), "names/series mismatch");
+  const std::size_t len = series[0].size();
+  for (const auto& s : series) SG_CHECK(s.size() == len, "series must be aligned");
+
+  std::vector<std::string> header = {"t"};
+  header.insert(header.end(), names.begin(), names.end());
+  CsvWriter table(header);
+  for (std::size_t t = 0; t < len; ++t) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (const auto& s : series) row.push_back(CsvWriter::num(s[t], 6));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace spectra::eval

@@ -1,0 +1,37 @@
+// Reporting helpers shared by the bench binaries: paper-style console
+// tables from MetricRows, CSV dumps, and ASCII renderings of traffic maps
+// for the qualitative figures.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/protocol.h"
+#include "util/csv.h"
+
+namespace spectra::eval {
+
+// "Method | M-TV | SSIM | AC-L1 | TSTR [| FVD]" table (Tables 2-5).
+CsvWriter metrics_table(const std::vector<MetricRow>& rows, bool include_fvd,
+                        bool include_city = false);
+
+// Print a table to stdout and also write it next to the binary as CSV.
+void emit_table(const CsvWriter& table, const std::string& title, const std::string& csv_path);
+
+// Coarse ASCII art of a map (for eyeballing Fig. 6/7-style results in a
+// terminal): one character per pixel, ' .:-=+*#%@' by intensity.
+std::string ascii_map(const geo::GridMap& map);
+
+// Write a map as a binary PGM image (grayscale, peak-normalized) for
+// figure generation with standard tooling. Returns false on I/O failure.
+bool write_pgm(const geo::GridMap& map, const std::string& path);
+
+// Dump a time series as "t,value" CSV rows.
+CsvWriter series_table(const std::vector<double>& series, const std::string& value_name);
+
+// Dump several aligned series: header = {"t", names...}.
+CsvWriter multi_series_table(const std::vector<std::string>& names,
+                             const std::vector<std::vector<double>>& series);
+
+}  // namespace spectra::eval

@@ -1,0 +1,64 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace spectra::geo {
+
+GridMap::GridMap(long height, long width)
+    : height_(height), width_(width), values_(static_cast<std::size_t>(height * width), 0.0) {
+  SG_CHECK(height >= 0 && width >= 0, "GridMap dimensions must be non-negative");
+}
+
+GridMap::GridMap(long height, long width, std::vector<double> values)
+    : height_(height), width_(width), values_(std::move(values)) {
+  SG_CHECK(static_cast<long>(values_.size()) == height * width, "GridMap values size mismatch");
+}
+
+double& GridMap::at(long row, long col) {
+  SG_CHECK(row >= 0 && row < height_ && col >= 0 && col < width_, "GridMap index out of bounds");
+  return values_[static_cast<std::size_t>(row * width_ + col)];
+}
+
+double GridMap::at(long row, long col) const {
+  SG_CHECK(row >= 0 && row < height_ && col >= 0 && col < width_, "GridMap index out of bounds");
+  return values_[static_cast<std::size_t>(row * width_ + col)];
+}
+
+double GridMap::sum() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+double GridMap::mean() const { return values_.empty() ? 0.0 : sum() / static_cast<double>(values_.size()); }
+
+double GridMap::min() const {
+  SG_CHECK(!values_.empty(), "min of empty GridMap");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double GridMap::max() const {
+  SG_CHECK(!values_.empty(), "max of empty GridMap");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void GridMap::normalize_peak() {
+  const double peak = values_.empty() ? 0.0 : max();
+  if (peak <= 0.0) return;
+  for (double& v : values_) v /= peak;
+}
+
+void GridMap::fill(double v) { std::fill(values_.begin(), values_.end(), v); }
+
+void GridMap::add(const GridMap& other) {
+  SG_CHECK(same_shape(other), "GridMap::add shape mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+}
+
+void GridMap::scale(double v) {
+  for (double& x : values_) x *= v;
+}
+
+}  // namespace spectra::geo

@@ -1,0 +1,53 @@
+// 2-D raster over the regular grid tessellation the paper uses (pixels of
+// 250x250 m^2). GridMap is the value type for single-channel spatial data:
+// time-averaged traffic maps, context attribute layers, population maps.
+
+#pragma once
+
+#include <vector>
+
+namespace spectra::geo {
+
+class GridMap {
+ public:
+  GridMap() = default;
+  GridMap(long height, long width);
+  GridMap(long height, long width, std::vector<double> values);
+
+  long height() const { return height_; }
+  long width() const { return width_; }
+  long size() const { return height_ * width_; }
+
+  double& at(long row, long col);
+  double at(long row, long col) const;
+
+  double& operator[](long flat) { return values_[static_cast<std::size_t>(flat)]; }
+  double operator[](long flat) const { return values_[static_cast<std::size_t>(flat)]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Scale all values so the maximum becomes 1 (no-op on all-zero maps).
+  void normalize_peak();
+
+  // Elementwise helpers.
+  void fill(double v);
+  void add(const GridMap& other);
+  void scale(double v);
+
+  bool same_shape(const GridMap& other) const {
+    return height_ == other.height_ && width_ == other.width_;
+  }
+
+ private:
+  long height_ = 0;
+  long width_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace spectra::geo

@@ -1,0 +1,45 @@
+#include "metrics/autocorr_l1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/autocorr.h"
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+double autocorr_l1(const geo::CityTensor& real, const geo::CityTensor& synthetic, long max_lag) {
+  SG_CHECK(real.height() == synthetic.height() && real.width() == synthetic.width(),
+           "autocorr_l1 requires equal spatial shapes");
+  const long lag = std::min({max_lag, real.steps() - 1, synthetic.steps() - 1});
+  SG_CHECK(lag >= 1, "autocorr_l1 requires at least one valid lag");
+
+  double total = 0.0;
+  long counted = 0;
+  for (long i = 0; i < real.height(); ++i) {
+    for (long j = 0; j < real.width(); ++j) {
+      const std::vector<double> series_real = real.pixel_series(i, j);
+      // Skip pixels with no signal (sea / empty land): their
+      // autocorrelation is undefined.
+      double mean = 0.0, var = 0.0;
+      for (double v : series_real) mean += v;
+      mean /= static_cast<double>(series_real.size());
+      for (double v : series_real) var += (v - mean) * (v - mean);
+      if (var <= 1e-18) continue;
+
+      const std::vector<double> r_real = dsp::autocorrelation(series_real, lag);
+      const std::vector<double> r_synth =
+          dsp::autocorrelation(synthetic.pixel_series(i, j), lag);
+      double acc = 0.0;
+      for (long l = 1; l <= lag; ++l) {
+        acc += std::fabs(r_real[static_cast<std::size_t>(l)] - r_synth[static_cast<std::size_t>(l)]);
+      }
+      total += acc;
+      ++counted;
+    }
+  }
+  SG_CHECK(counted > 0, "autocorr_l1: no pixel with positive variance");
+  return total / static_cast<double>(counted);
+}
+
+}  // namespace spectra::metrics

@@ -1,0 +1,17 @@
+// AC-L1 metric (§3.2): temporal fidelity as the L1 distance between
+// pixel-level autocorrelation functions of real and synthetic traffic,
+// averaged over pixels. The paper does not specify a per-lag
+// normalization; we use the plain sum over lags, which lands in the same
+// decades as the reported values (tens to low hundreds).
+
+#pragma once
+
+#include "geo/city_tensor.h"
+
+namespace spectra::metrics {
+
+// Sum over lags 1..max_lag of |r_real(l) - r_synth(l)|, averaged across
+// pixels whose real series has positive variance.
+double autocorr_l1(const geo::CityTensor& real, const geo::CityTensor& synthetic, long max_lag);
+
+}  // namespace spectra::metrics

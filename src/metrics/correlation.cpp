@@ -1,0 +1,36 @@
+#include "metrics/correlation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  SG_CHECK(x.size() == y.size() && x.size() >= 2, "pearson requires equal-length samples (>=2)");
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  if (sxx <= 1e-18 || syy <= 1e-18) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double pearson(const geo::GridMap& x, const geo::GridMap& y) {
+  SG_CHECK(x.same_shape(y), "pearson requires equal-shaped maps");
+  return pearson(x.values(), y.values());
+}
+
+}  // namespace spectra::metrics

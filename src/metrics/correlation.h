@@ -1,0 +1,18 @@
+// Pearson correlation coefficient — used for the Table 1 context-vs-
+// traffic analysis and the attribute-selection rationale of §3.1.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.h"
+
+namespace spectra::metrics {
+
+// PCC of two equal-length samples; 0 when either side is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+// PCC between two maps' pixel values.
+double pearson(const geo::GridMap& x, const geo::GridMap& y);
+
+}  // namespace spectra::metrics

@@ -1,0 +1,18 @@
+#include "metrics/fairness.h"
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+double jain_fairness(const std::vector<double>& loads) {
+  SG_CHECK(!loads.empty(), "jain_fairness of empty loads");
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : loads) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+}  // namespace spectra::metrics

@@ -1,0 +1,14 @@
+// Jain's fairness index — used to score the balance of CU loads in the
+// vRAN resource-allocation use case (§5.2, Table 7).
+
+#pragma once
+
+#include <vector>
+
+namespace spectra::metrics {
+
+// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly balanced.
+// An all-zero load vector returns 1 (vacuously balanced).
+double jain_fairness(const std::vector<double>& loads);
+
+}  // namespace spectra::metrics

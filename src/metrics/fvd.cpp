@@ -1,0 +1,111 @@
+#include "metrics/fvd.h"
+
+#include <cmath>
+
+#include "dsp/signature.h"
+#include "metrics/linalg.h"
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+namespace {
+
+// Pool a frame into {whole-city mean, four quadrant means}.
+std::vector<double> pool_frame(const geo::CityTensor& tensor, long t) {
+  const long h = tensor.height();
+  const long w = tensor.width();
+  const long hm = h / 2;
+  const long wm = w / 2;
+  double quad[4] = {0, 0, 0, 0};
+  long quad_n[4] = {0, 0, 0, 0};
+  double total = 0.0;
+  for (long i = 0; i < h; ++i) {
+    for (long j = 0; j < w; ++j) {
+      const double v = tensor.at(t, i, j);
+      total += v;
+      const int q = (i < hm ? 0 : 2) + (j < wm ? 0 : 1);
+      quad[q] += v;
+      ++quad_n[q];
+    }
+  }
+  std::vector<double> out(5);
+  out[0] = total / static_cast<double>(h * w);
+  for (int q = 0; q < 4; ++q) out[static_cast<std::size_t>(1 + q)] = quad[q] / std::max<long>(quad_n[q], 1);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> fvd_embeddings(const geo::CityTensor& tensor,
+                                                const FvdConfig& config) {
+  SG_CHECK(config.window >= 2 && config.stride >= 1, "invalid FVD window config");
+  SG_CHECK(tensor.steps() >= config.window, "tensor shorter than one FVD window");
+
+  // Pool every frame once, then slice windows.
+  std::vector<std::vector<double>> pooled;
+  pooled.reserve(static_cast<std::size_t>(tensor.steps()));
+  for (long t = 0; t < tensor.steps(); ++t) pooled.push_back(pool_frame(tensor, t));
+
+  std::vector<std::vector<double>> embeddings;
+  for (long start = 0; start + config.window <= tensor.steps(); start += config.stride) {
+    std::vector<std::vector<double>> window(pooled.begin() + start,
+                                            pooled.begin() + start + config.window);
+    embeddings.push_back(dsp::signature_transform(window, config.depth, /*time_augment=*/true));
+  }
+  return embeddings;
+}
+
+double frechet_distance(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b, double ridge) {
+  SG_CHECK(a.size() >= 2 && b.size() >= 2, "frechet_distance requires >= 2 embeddings per side");
+  const long d = static_cast<long>(a[0].size());
+  SG_CHECK(static_cast<long>(b[0].size()) == d, "embedding dimension mismatch");
+
+  auto fit_gaussian = [d, ridge](const std::vector<std::vector<double>>& cloud,
+                                 std::vector<double>& mean, SquareMatrix& cov) {
+    mean.assign(static_cast<std::size_t>(d), 0.0);
+    for (const auto& row : cloud) {
+      for (long i = 0; i < d; ++i) mean[static_cast<std::size_t>(i)] += row[static_cast<std::size_t>(i)];
+    }
+    for (double& m : mean) m /= static_cast<double>(cloud.size());
+    cov = SquareMatrix(d);
+    for (const auto& row : cloud) {
+      for (long i = 0; i < d; ++i) {
+        const double di = row[static_cast<std::size_t>(i)] - mean[static_cast<std::size_t>(i)];
+        for (long j = 0; j < d; ++j) {
+          cov.at(i, j) += di * (row[static_cast<std::size_t>(j)] - mean[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(cloud.size() - 1);
+    for (long i = 0; i < d; ++i) {
+      for (long j = 0; j < d; ++j) cov.at(i, j) *= inv;
+      cov.at(i, i) += ridge;
+    }
+  };
+
+  std::vector<double> mu_a, mu_b;
+  SquareMatrix cov_a(d), cov_b(d);
+  fit_gaussian(a, mu_a, cov_a);
+  fit_gaussian(b, mu_b, cov_b);
+
+  double mean_term = 0.0;
+  for (long i = 0; i < d; ++i) {
+    const double diff = mu_a[static_cast<std::size_t>(i)] - mu_b[static_cast<std::size_t>(i)];
+    mean_term += diff * diff;
+  }
+
+  // Tr((Ca^1/2 Cb Ca^1/2)^1/2) — the symmetric form of Tr((Ca Cb)^1/2).
+  const SquareMatrix sqrt_a = sqrtm_psd(cov_a);
+  const SquareMatrix inner = matmul(matmul(sqrt_a, cov_b), sqrt_a);
+  const SquareMatrix cross = sqrtm_psd(inner);
+
+  return mean_term + trace(cov_a) + trace(cov_b) - 2.0 * trace(cross);
+}
+
+double fvd(const geo::CityTensor& real, const geo::CityTensor& synthetic, const FvdConfig& config) {
+  return frechet_distance(fvd_embeddings(real, config), fvd_embeddings(synthetic, config),
+                          config.ridge);
+}
+
+}  // namespace spectra::metrics

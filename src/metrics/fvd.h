@@ -1,0 +1,40 @@
+// Fréchet "video" distance (§3.2) adapted as in the paper: instead of a
+// pretrained video network, spatiotemporal traffic is flattened into a
+// multivariate series, embedded with a path-signature transform, and the
+// Fréchet distance is computed between Gaussian fits of the real and
+// synthetic embedding clouds:
+//   FVD = ||mu_r - mu_s||^2 + Tr(C_r + C_s - 2 (C_r^1/2 C_s C_r^1/2)^1/2).
+//
+// Embeddings: windows of `window` steps (stride `stride`) are pooled into
+// five spatial channels (city mean + four quadrant means), time-augmented
+// and signed at depth 2. Window pooling keeps the embedding dimension
+// independent of the city size, so FVD is comparable across cities.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/city_tensor.h"
+
+namespace spectra::metrics {
+
+struct FvdConfig {
+  long window = 48;   // steps per embedded window
+  long stride = 12;   // window stride
+  int depth = 2;      // signature depth
+  double ridge = 1e-6;  // covariance regularizer
+};
+
+// Signature embeddings for every window of the tensor.
+std::vector<std::vector<double>> fvd_embeddings(const geo::CityTensor& tensor,
+                                                const FvdConfig& config = {});
+
+// Fréchet distance between Gaussian fits of two embedding clouds.
+double frechet_distance(const std::vector<std::vector<double>>& a,
+                        const std::vector<std::vector<double>>& b, double ridge = 1e-6);
+
+// End-to-end FVD between real and synthetic traffic.
+double fvd(const geo::CityTensor& real, const geo::CityTensor& synthetic,
+           const FvdConfig& config = {});
+
+}  // namespace spectra::metrics

@@ -1,0 +1,128 @@
+#include "metrics/linalg.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+std::vector<double> solve_linear_system(SquareMatrix a, std::vector<double> b) {
+  const long n = a.n;
+  SG_CHECK(static_cast<long>(b.size()) == n, "solve_linear_system: dimension mismatch");
+  for (long col = 0; col < n; ++col) {
+    // Partial pivot.
+    long pivot = col;
+    for (long row = col + 1; row < n; ++row) {
+      if (std::fabs(a.at(row, col)) > std::fabs(a.at(pivot, col))) pivot = row;
+    }
+    SG_CHECK(std::fabs(a.at(pivot, col)) > 1e-12, "solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (long j = 0; j < n; ++j) std::swap(a.at(col, j), a.at(pivot, j));
+      std::swap(b[static_cast<std::size_t>(col)], b[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (long row = col + 1; row < n; ++row) {
+      const double factor = a.at(row, col) * inv;
+      if (factor == 0.0) continue;
+      for (long j = col; j < n; ++j) a.at(row, j) -= factor * a.at(col, j);
+      b[static_cast<std::size_t>(row)] -= factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (long row = n - 1; row >= 0; --row) {
+    double acc = b[static_cast<std::size_t>(row)];
+    for (long j = row + 1; j < n; ++j) acc -= a.at(row, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(row)] = acc / a.at(row, row);
+  }
+  return x;
+}
+
+void symmetric_eigen(const SquareMatrix& input, std::vector<double>& eigenvalues, SquareMatrix& v) {
+  const long n = input.n;
+  SquareMatrix a = input;
+  v = SquareMatrix(n);
+  for (long i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (long i = 0; i < n; ++i) {
+      for (long j = i + 1; j < n; ++j) off += a.at(i, j) * a.at(i, j);
+    }
+    if (off < 1e-22) break;
+    for (long p = 0; p < n - 1; ++p) {
+      for (long q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) / (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Rotate rows/columns p and q.
+        for (long k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (long k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (long k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.assign(static_cast<std::size_t>(n), 0.0);
+  for (long i = 0; i < n; ++i) eigenvalues[static_cast<std::size_t>(i)] = a.at(i, i);
+}
+
+SquareMatrix matmul(const SquareMatrix& a, const SquareMatrix& b) {
+  SG_CHECK(a.n == b.n, "matmul: dimension mismatch");
+  const long n = a.n;
+  SquareMatrix c(n);
+  for (long i = 0; i < n; ++i) {
+    for (long k = 0; k < n; ++k) {
+      const double av = a.at(i, k);
+      if (av == 0.0) continue;
+      for (long j = 0; j < n; ++j) c.at(i, j) += av * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+SquareMatrix sqrtm_psd(const SquareMatrix& a) {
+  std::vector<double> eigenvalues;
+  SquareMatrix v(a.n);
+  symmetric_eigen(a, eigenvalues, v);
+  const long n = a.n;
+  SquareMatrix result(n);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (long k = 0; k < n; ++k) {
+        const double lambda = std::max(eigenvalues[static_cast<std::size_t>(k)], 0.0);
+        acc += v.at(i, k) * std::sqrt(lambda) * v.at(j, k);
+      }
+      result.at(i, j) = acc;
+    }
+  }
+  return result;
+}
+
+double trace(const SquareMatrix& a) {
+  double acc = 0.0;
+  for (long i = 0; i < a.n; ++i) acc += a.at(i, i);
+  return acc;
+}
+
+}  // namespace spectra::metrics

@@ -1,0 +1,40 @@
+// Small dense linear-algebra helpers shared by the TSTR regression and
+// the FVD Fréchet-distance computation: column-major-free plain vectors,
+// Gaussian elimination, and a cyclic Jacobi eigensolver for symmetric
+// matrices (dimensions here are tiny — tens — so O(n^3) sweeps are fine).
+
+#pragma once
+
+#include <vector>
+
+namespace spectra::metrics {
+
+// n x n matrix stored row-major.
+struct SquareMatrix {
+  long n = 0;
+  std::vector<double> a;
+
+  explicit SquareMatrix(long size) : n(size), a(static_cast<std::size_t>(size * size), 0.0) {}
+  double& at(long i, long j) { return a[static_cast<std::size_t>(i * n + j)]; }
+  double at(long i, long j) const { return a[static_cast<std::size_t>(i * n + j)]; }
+};
+
+// Solve A x = b by Gaussian elimination with partial pivoting; A is
+// modified. Throws spectra::Error if A is singular to working precision.
+std::vector<double> solve_linear_system(SquareMatrix a, std::vector<double> b);
+
+// Eigen-decomposition of a symmetric matrix: fills eigenvalues (ascending
+// not guaranteed) and eigenvectors (columns of V). Cyclic Jacobi.
+void symmetric_eigen(const SquareMatrix& a, std::vector<double>& eigenvalues, SquareMatrix& v);
+
+// Matrix product C = A * B.
+SquareMatrix matmul(const SquareMatrix& a, const SquareMatrix& b);
+
+// Symmetric positive-semidefinite square root via eigen-decomposition
+// (negative eigenvalues from round-off are clamped to zero).
+SquareMatrix sqrtm_psd(const SquareMatrix& a);
+
+// Trace.
+double trace(const SquareMatrix& a);
+
+}  // namespace spectra::metrics

@@ -1,0 +1,44 @@
+#include "metrics/marginal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+std::vector<double> histogram(const std::vector<double>& values, double lo, double hi, long bins) {
+  SG_CHECK(bins > 0, "histogram requires bins > 0");
+  SG_CHECK(hi > lo, "histogram requires hi > lo");
+  SG_CHECK(!values.empty(), "histogram of empty values");
+  std::vector<double> h(static_cast<std::size_t>(bins), 0.0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double v : values) {
+    long bin = static_cast<long>((v - lo) * scale);
+    bin = std::clamp<long>(bin, 0, bins - 1);
+    h[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(values.size());
+  for (double& x : h) x *= inv;
+  return h;
+}
+
+double total_variation(const std::vector<double>& p, const std::vector<double>& q) {
+  SG_CHECK(p.size() == q.size(), "total_variation requires equal-length distributions");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - q[i]);
+  return 0.5 * acc;
+}
+
+double marginal_tv(const geo::CityTensor& real, const geo::CityTensor& synthetic, long bins) {
+  SG_CHECK(real.size() > 0 && synthetic.size() > 0, "marginal_tv of empty tensors");
+  double hi = 0.0;
+  for (double v : real.values()) hi = std::max(hi, v);
+  for (double v : synthetic.values()) hi = std::max(hi, v);
+  if (hi <= 0.0) hi = 1.0;
+  const std::vector<double> p = histogram(real.values(), 0.0, hi, bins);
+  const std::vector<double> q = histogram(synthetic.values(), 0.0, hi, bins);
+  return total_variation(p, q);
+}
+
+}  // namespace spectra::metrics

@@ -1,0 +1,24 @@
+// M-TV metric (§3.2): total-variation distance between the empirical
+// marginal distributions of traffic volume across all pixels and steps of
+// real vs synthetic tensors.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/city_tensor.h"
+
+namespace spectra::metrics {
+
+// Empirical histogram of `values` over [lo, hi] with `bins` equal bins,
+// normalized to a probability vector (out-of-range values clamp to the
+// edge bins).
+std::vector<double> histogram(const std::vector<double>& values, double lo, double hi, long bins);
+
+// TV distance between two probability vectors of equal length.
+double total_variation(const std::vector<double>& p, const std::vector<double>& q);
+
+// The paper's M-TV: histograms share the range [0, max(real, synth)].
+double marginal_tv(const geo::CityTensor& real, const geo::CityTensor& synthetic, long bins = 64);
+
+}  // namespace spectra::metrics

@@ -1,0 +1,25 @@
+#include "metrics/psnr.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+double psnr(const geo::GridMap& reference, const geo::GridMap& estimate, double peak) {
+  SG_CHECK(reference.same_shape(estimate), "psnr requires equal-shaped maps");
+  SG_CHECK(reference.size() > 0, "psnr of empty maps");
+  if (peak <= 0.0) peak = reference.max();
+  SG_CHECK(peak > 0.0, "psnr requires a positive peak");
+
+  double mse = 0.0;
+  for (long i = 0; i < reference.size(); ++i) {
+    const double diff = reference[i] - estimate[i];
+    mse += diff * diff;
+  }
+  mse /= static_cast<double>(reference.size());
+  if (mse <= 0.0) return 300.0;  // identical maps
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+}  // namespace spectra::metrics

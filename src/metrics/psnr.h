@@ -1,0 +1,14 @@
+// Peak Signal-to-Noise Ratio between raster maps — the image-fidelity
+// metric for the dynamic population tracking use case (§5.3, Table 8).
+
+#pragma once
+
+#include "geo/grid.h"
+
+namespace spectra::metrics {
+
+// PSNR in dB: 10 log10(peak^2 / MSE). `peak` defaults to the max of the
+// reference map. Returns +inf-like large value (300 dB) on identical maps.
+double psnr(const geo::GridMap& reference, const geo::GridMap& estimate, double peak = -1.0);
+
+}  // namespace spectra::metrics

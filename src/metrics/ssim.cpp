@@ -1,0 +1,40 @@
+#include "metrics/ssim.h"
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+double ssim(const geo::GridMap& a, const geo::GridMap& b, double dynamic_range) {
+  SG_CHECK(a.same_shape(b), "ssim requires equal-shaped maps");
+  SG_CHECK(a.size() > 1, "ssim requires at least two pixels");
+  SG_CHECK(dynamic_range > 0.0, "ssim requires positive dynamic range");
+
+  const long n = a.size();
+  double mean_a = 0.0, mean_b = 0.0;
+  for (long i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+
+  double var_a = 0.0, var_b = 0.0, cov = 0.0;
+  for (long i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    var_a += da * da;
+    var_b += db * db;
+    cov += da * db;
+  }
+  const double denom = static_cast<double>(n - 1);
+  var_a /= denom;
+  var_b /= denom;
+  cov /= denom;
+
+  const double c1 = (0.01 * dynamic_range) * (0.01 * dynamic_range);
+  const double c2 = (0.03 * dynamic_range) * (0.03 * dynamic_range);
+  return ((2.0 * mean_a * mean_b + c1) * (2.0 * cov + c2)) /
+         ((mean_a * mean_a + mean_b * mean_b + c1) * (var_a + var_b + c2));
+}
+
+}  // namespace spectra::metrics

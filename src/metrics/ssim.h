@@ -1,0 +1,19 @@
+// SSIM on time-averaged traffic maps (§3.2): the spatial-fidelity metric.
+// Computed globally over the map (single-window SSIM) with the standard
+// stabilization constants relative to the data dynamic range.
+
+#pragma once
+
+#include "geo/grid.h"
+
+namespace spectra::geo {
+class GridMap;
+}
+
+namespace spectra::metrics {
+
+// SSIM between two equal-shaped maps. `dynamic_range` is L in the usual
+// formula; traffic maps are peak-normalized so the default is 1.
+double ssim(const geo::GridMap& a, const geo::GridMap& b, double dynamic_range = 1.0);
+
+}  // namespace spectra::metrics

@@ -1,0 +1,80 @@
+#include "metrics/tstr.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::metrics {
+
+TstrModel fit_tstr(const geo::CityTensor& train) {
+  SG_CHECK(train.steps() >= 2, "fit_tstr requires at least two steps");
+
+  // Simple linear regression accumulated streaming over all pairs.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  long n = 0;
+  for (long t = 0; t + 1 < train.steps(); ++t) {
+    for (long i = 0; i < train.height(); ++i) {
+      for (long j = 0; j < train.width(); ++j) {
+        const double x = train.at(t, i, j);
+        const double y = train.at(t + 1, i, j);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++n;
+      }
+    }
+  }
+  SG_CHECK(n > 1, "fit_tstr: no training pairs");
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  TstrModel model;
+  // Relative threshold: constant inputs cancel only up to accumulation
+  // round-off, which scales with the magnitude of the sums involved.
+  if (std::fabs(denom) < 1e-12 * (static_cast<double>(n) * sxx + 1e-30)) {
+    // Constant synthetic data: the best linear predictor is the mean.
+    model.slope = 0.0;
+    model.intercept = sy / static_cast<double>(n);
+  } else {
+    model.slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+    model.intercept = (sy - model.slope * sx) / static_cast<double>(n);
+  }
+  model.fitted = true;
+  return model;
+}
+
+double evaluate_tstr(const TstrModel& model, const geo::CityTensor& test) {
+  SG_CHECK(model.fitted, "TstrModel not fitted");
+  SG_CHECK(test.steps() >= 2, "evaluate_tstr requires at least two steps");
+
+  double sum_y = 0.0;
+  long count = 0;
+  for (long t = 1; t < test.steps(); ++t) {
+    for (long i = 0; i < test.height(); ++i) {
+      for (long j = 0; j < test.width(); ++j) {
+        sum_y += test.at(t, i, j);
+        ++count;
+      }
+    }
+  }
+  const double mean_y = sum_y / static_cast<double>(count);
+
+  double sse = 0.0, sst = 0.0;
+  for (long t = 0; t + 1 < test.steps(); ++t) {
+    for (long i = 0; i < test.height(); ++i) {
+      for (long j = 0; j < test.width(); ++j) {
+        const double pred = model.intercept + model.slope * test.at(t, i, j);
+        const double y = test.at(t + 1, i, j);
+        sse += (y - pred) * (y - pred);
+        sst += (y - mean_y) * (y - mean_y);
+      }
+    }
+  }
+  if (sst <= 1e-18) return 0.0;
+  return 1.0 - sse / sst;
+}
+
+double tstr_r2(const geo::CityTensor& synthetic, const geo::CityTensor& real) {
+  return evaluate_tstr(fit_tstr(synthetic), real);
+}
+
+}  // namespace spectra::metrics

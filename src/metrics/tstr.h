@@ -1,0 +1,33 @@
+// Train-Synthetic-Test-Real (§3.2): fit a linear next-step traffic
+// predictor on the synthetic tensor, evaluate it on the real tensor, and
+// report the out-of-sample R^2 — the paper's generic-downstream-use-case
+// metric. The regression is the plain per-pixel linear model
+//   x_{t+1,p} ~ w0 + w1 * x_{t,p}
+// so only generators that preserve the step-to-step temporal structure
+// transfer (R^2 near the DATA bound); one that scrambles time (Pix2Pix)
+// yields an uninformative predictor and low R^2.
+
+#pragma once
+
+#include <vector>
+
+#include "geo/city_tensor.h"
+
+namespace spectra::metrics {
+
+struct TstrModel {
+  double intercept = 0.0;
+  double slope = 0.0;
+  bool fitted = false;
+};
+
+// Least-squares fit on all (t, pixel) next-step pairs of `train`.
+TstrModel fit_tstr(const geo::CityTensor& train);
+
+// R^2 of `model` predictions on all pairs of `test`.
+double evaluate_tstr(const TstrModel& model, const geo::CityTensor& test);
+
+// Convenience: fit on synthetic, test on real.
+double tstr_r2(const geo::CityTensor& synthetic, const geo::CityTensor& real);
+
+}  // namespace spectra::metrics

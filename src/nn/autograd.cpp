@@ -1,0 +1,134 @@
+#include "nn/autograd.h"
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace spectra::nn {
+
+namespace detail {
+struct Node {
+  Tensor value;
+  Tensor grad;             // allocated lazily in grad_storage()
+  bool grad_allocated = false;
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  Var::BackwardFn backward;
+};
+}  // namespace detail
+
+namespace {
+thread_local bool g_inference_mode = false;
+}  // namespace
+
+InferenceGuard::InferenceGuard() : previous_(g_inference_mode) { g_inference_mode = true; }
+
+InferenceGuard::~InferenceGuard() { g_inference_mode = previous_; }
+
+bool InferenceGuard::active() { return g_inference_mode; }
+
+Var Var::leaf(Tensor value) {
+  auto node = std::make_shared<detail::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Var(std::move(node));
+}
+
+Var Var::constant(Tensor value) {
+  auto node = std::make_shared<detail::Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Var(std::move(node));
+}
+
+bool Var::requires_grad() const {
+  SG_CHECK(defined(), "requires_grad() on null Var");
+  return node_->requires_grad;
+}
+
+const Tensor& Var::value() const {
+  SG_CHECK(defined(), "value() on null Var");
+  return node_->value;
+}
+
+Tensor& Var::value_mut() {
+  SG_CHECK(defined(), "value_mut() on null Var");
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  SG_CHECK(defined(), "grad() on null Var");
+  SG_CHECK(node_->grad_allocated, "grad accessed before backward()");
+  return node_->grad;
+}
+
+Tensor& Var::grad_storage() {
+  SG_CHECK(defined(), "grad_storage() on null Var");
+  if (!node_->grad_allocated) {
+    node_->grad = Tensor(node_->value.shape());
+    node_->grad_allocated = true;
+  }
+  return node_->grad;
+}
+
+void Var::zero_grad() {
+  SG_CHECK(defined(), "zero_grad() on null Var");
+  if (node_->grad_allocated) node_->grad.fill(0.0f);
+}
+
+Var Var::make_op(Tensor value, std::vector<Var> parents, BackwardFn backward) {
+  auto node = std::make_shared<detail::Node>();
+  node->value = std::move(value);
+  for (const Var& p : parents) {
+    SG_CHECK(p.defined(), "op parent is a null Var");
+    node->requires_grad = node->requires_grad || p.requires_grad();
+  }
+  if (g_inference_mode) {
+    // No recording: the result behaves like a constant.
+    node->requires_grad = false;
+    return Var(std::move(node));
+  }
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Var(std::move(node));
+}
+
+void Var::backward() {
+  SG_CHECK(defined(), "backward() on null Var");
+  SG_CHECK(node_->value.numel() == 1, "backward() must start from a scalar");
+  SG_CHECK(node_->requires_grad, "backward() from a Var with no grad-requiring ancestry");
+
+  // Iterative post-order topological sort (recursion would overflow on
+  // LSTM graphs that are hundreds of steps deep).
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, child_index] = stack.back();
+    if (child_index < node->parents.size()) {
+      detail::Node* parent = node->parents[child_index].node_.get();
+      ++child_index;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(out)/d(out) = 1 and propagate in reverse topological order.
+  grad_storage().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* node = *it;
+    if (node->backward) {
+      node->backward(node->grad, node->parents);
+    }
+  }
+}
+
+}  // namespace spectra::nn

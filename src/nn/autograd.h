@@ -1,0 +1,89 @@
+// Reverse-mode automatic differentiation over Tensors.
+//
+// A `Var` is a shared handle to a node in a dynamically-built computation
+// graph. Operators (nn/ops.h, nn/conv.h) create new nodes whose backward
+// closures accumulate gradients into their parents. Calling `backward()`
+// on a scalar Var topologically sorts the reachable subgraph and runs the
+// closures in reverse order — the classic tape-free define-by-run design.
+//
+// Graphs are rebuilt per training step and freed when the root Var goes
+// out of scope (nodes own their parents via shared_ptr).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace spectra::nn {
+
+namespace detail {
+struct Node;
+}  // namespace detail
+
+// RAII guard that disables graph recording while alive (thread-local).
+// Ops built under the guard keep their forward values but no parents or
+// backward closures — intermediate results are freed as soon as their
+// handles go out of scope. Use for generation/inference passes.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+  static bool active();
+
+ private:
+  bool previous_;
+};
+
+class Var {
+ public:
+  // Null handle; defined() is false.
+  Var() = default;
+
+  // Leaf with gradient tracking (trainable parameter or input needing grads).
+  static Var leaf(Tensor value);
+
+  // Leaf without gradient tracking (data, noise, targets).
+  static Var constant(Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  bool requires_grad() const;
+
+  const Tensor& value() const;
+  Tensor& value_mut();  // used by optimizers for in-place parameter updates
+
+  // Gradient of the last backward() (zero-shaped until backward runs).
+  const Tensor& grad() const;
+
+  void zero_grad();
+
+  // Run reverse-mode autodiff from this (scalar) variable.
+  void backward();
+
+  // Identity used as map key for optimizer state.
+  const void* id() const { return node_.get(); }
+
+  // --- graph construction (used by op implementations) ---
+
+  // Backward closure: given the node's accumulated output gradient,
+  // add each parent's contribution into parents[i].grad_storage().
+  using BackwardFn = std::function<void(const Tensor& out_grad, std::vector<Var>& parents)>;
+
+  // Create an interior node. requires_grad is inherited from parents.
+  static Var make_op(Tensor value, std::vector<Var> parents, BackwardFn backward);
+
+  // Direct access to the mutable gradient buffer (op backward closures
+  // accumulate here). Allocates a zero tensor of value's shape on first use.
+  Tensor& grad_storage();
+
+ private:
+  explicit Var(std::shared_ptr<detail::Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace spectra::nn

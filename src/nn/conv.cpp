@@ -1,0 +1,143 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace spectra::nn {
+
+long conv2d_out_extent(long in, long kernel, long stride, long padding) {
+  SG_CHECK(stride >= 1 && padding >= 0 && kernel >= 1, "invalid conv2d geometry");
+  const long span = in + 2 * padding - kernel;
+  SG_CHECK(span >= 0, "conv2d kernel larger than padded input");
+  return span / stride + 1;
+}
+
+namespace {
+
+// Valid kernel-tap range [lo, hi) for an output coordinate, so the inner
+// loops never branch on padding.
+inline void tap_range(long out_coord, long stride, long padding, long in_extent, long kernel,
+                      long& lo, long& hi) {
+  const long origin = out_coord * stride - padding;
+  lo = std::max<long>(0, -origin);
+  hi = std::min<long>(kernel, in_extent - origin);
+}
+
+}  // namespace
+
+Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpec& spec) {
+  const Tensor& x = input.value();
+  const Tensor& w = weight.value();
+  const Tensor& b = bias.value();
+  SG_CHECK(x.rank() == 4, "conv2d input must be [N,C,H,W]");
+  SG_CHECK(w.rank() == 4, "conv2d weight must be [O,C,kh,kw]");
+  SG_CHECK(b.rank() == 1, "conv2d bias must be [O]");
+  const long N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  const long O = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  SG_CHECK(w.dim(1) == C, "conv2d weight channel mismatch");
+  SG_CHECK(b.dim(0) == O, "conv2d bias length mismatch");
+  const long s = spec.stride, p = spec.padding;
+  const long Ho = conv2d_out_extent(H, kh, s, p);
+  const long Wo = conv2d_out_extent(W, kw, s, p);
+
+  Tensor y({N, O, Ho, Wo});
+  {
+    const float* px = x.data();
+    const float* pw = w.data();
+    float* py = y.data();
+    for (long n = 0; n < N; ++n) {
+      for (long o = 0; o < O; ++o) {
+        float* yplane = py + (n * O + o) * Ho * Wo;
+        const float bias_v = b[o];
+        for (long i = 0; i < Ho * Wo; ++i) yplane[i] = bias_v;
+        for (long c = 0; c < C; ++c) {
+          const float* xplane = px + (n * C + c) * H * W;
+          const float* wplane = pw + (o * C + c) * kh * kw;
+          for (long oh = 0; oh < Ho; ++oh) {
+            long r_lo, r_hi;
+            tap_range(oh, s, p, H, kh, r_lo, r_hi);
+            const long ih0 = oh * s - p;
+            float* yrow = yplane + oh * Wo;
+            for (long r = r_lo; r < r_hi; ++r) {
+              const float* xrow = xplane + (ih0 + r) * W;
+              const float* wrow = wplane + r * kw;
+              for (long ow = 0; ow < Wo; ++ow) {
+                long q_lo, q_hi;
+                tap_range(ow, s, p, W, kw, q_lo, q_hi);
+                const long iw0 = ow * s - p;
+                float acc = 0.0f;
+                for (long q = q_lo; q < q_hi; ++q) acc += xrow[iw0 + q] * wrow[q];
+                yrow[ow] += acc;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return Var::make_op(
+      std::move(y), {input, weight, bias},
+      [N, C, H, W, O, kh, kw, s, p, Ho, Wo](const Tensor& g, std::vector<Var>& parents) {
+        const Tensor& x = parents[0].value();
+        const Tensor& w = parents[1].value();
+        const bool need_dx = parents[0].requires_grad();
+        const bool need_dw = parents[1].requires_grad();
+        const bool need_db = parents[2].requires_grad();
+        Tensor* gx = need_dx ? &parents[0].grad_storage() : nullptr;
+        Tensor* gw = need_dw ? &parents[1].grad_storage() : nullptr;
+        Tensor* gb = need_db ? &parents[2].grad_storage() : nullptr;
+
+        if (need_db) {
+          for (long n = 0; n < N; ++n) {
+            for (long o = 0; o < O; ++o) {
+              const float* grow = g.data() + (n * O + o) * Ho * Wo;
+              float acc = 0.0f;
+              for (long i = 0; i < Ho * Wo; ++i) acc += grow[i];
+              (*gb)[o] += acc;
+            }
+          }
+        }
+        if (!need_dx && !need_dw) return;
+
+        for (long n = 0; n < N; ++n) {
+          for (long o = 0; o < O; ++o) {
+            const float* gplane = g.data() + (n * O + o) * Ho * Wo;
+            for (long c = 0; c < C; ++c) {
+              const float* xplane = x.data() + (n * C + c) * H * W;
+              const float* wplane = w.data() + (o * C + c) * kh * kw;
+              float* gxplane = need_dx ? gx->data() + (n * C + c) * H * W : nullptr;
+              float* gwplane = need_dw ? gw->data() + (o * C + c) * kh * kw : nullptr;
+              for (long oh = 0; oh < Ho; ++oh) {
+                long r_lo, r_hi;
+                tap_range(oh, s, p, H, kh, r_lo, r_hi);
+                const long ih0 = oh * s - p;
+                const float* grow = gplane + oh * Wo;
+                for (long r = r_lo; r < r_hi; ++r) {
+                  const float* xrow = xplane + (ih0 + r) * W;
+                  float* gxrow = need_dx ? gxplane + (ih0 + r) * W : nullptr;
+                  const float* wrow = wplane + r * kw;
+                  float* gwrow = need_dw ? gwplane + r * kw : nullptr;
+                  for (long ow = 0; ow < Wo; ++ow) {
+                    const float gv = grow[ow];
+                    if (gv == 0.0f) continue;
+                    long q_lo, q_hi;
+                    tap_range(ow, s, p, W, kw, q_lo, q_hi);
+                    const long iw0 = ow * s - p;
+                    if (need_dx) {
+                      for (long q = q_lo; q < q_hi; ++q) gxrow[iw0 + q] += gv * wrow[q];
+                    }
+                    if (need_dw) {
+                      for (long q = q_lo; q < q_hi; ++q) gwrow[q] += gv * xrow[iw0 + q];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace spectra::nn

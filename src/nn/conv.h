@@ -1,0 +1,26 @@
+// Differentiable 2-D convolution (NCHW), the workhorse of the SpectraGAN
+// encoder and spectrum generator. Direct (non-im2col) kernels: model
+// feature maps here are tiny (≤ 16×16), so the simple loops are both
+// fast enough and easy to verify against finite differences.
+
+#pragma once
+
+#include "nn/autograd.h"
+
+namespace spectra::nn {
+
+struct Conv2dSpec {
+  long stride = 1;
+  long padding = 0;  // symmetric zero padding
+};
+
+// input  [N, C, H, W]
+// weight [O, C, kh, kw]
+// bias   [O]
+// output [N, O, H', W'] with H' = (H + 2p - kh)/s + 1.
+Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpec& spec = {});
+
+// Output spatial extent helper (throws if the geometry is invalid).
+long conv2d_out_extent(long in, long kernel, long stride, long padding);
+
+}  // namespace spectra::nn

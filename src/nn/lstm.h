@@ -1,0 +1,84 @@
+// Recurrent layers: LSTMCell/LSTM (batched, as used by the SpectraGAN
+// residual time-series generator and time discriminator, §2.2.2–2.2.3)
+// and ConvLSTMCell (for the Conv{3D+LSTM} baseline, §3.3).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace spectra::nn {
+
+// Hidden/cell state pair threaded through recurrent steps.
+struct LstmState {
+  Var h;
+  Var c;
+};
+
+// Standard LSTM cell (Hochreiter & Schmidhuber 1997) with fused gate
+// projection: gates = x Wx + h Wh + b, split into i, f, g, o.
+class LSTMCell : public Module {
+ public:
+  LSTMCell(long input_size, long hidden_size, Rng& rng);
+
+  // Zero state for batch size B (constants; no gradient).
+  LstmState initial_state(long batch) const;
+
+  // One step: x is [B, input_size]; returns the new state.
+  LstmState step(const Var& x, const LstmState& state) const;
+
+  long input_size() const { return input_size_; }
+  long hidden_size() const { return hidden_size_; }
+
+ private:
+  long input_size_;
+  long hidden_size_;
+  Var weight_x_;  // [input, 4*hidden]
+  Var weight_h_;  // [hidden, 4*hidden]
+  Var bias_;      // [4*hidden] (forget-gate slice initialized to 1)
+};
+
+// Multi-step LSTM with a per-step linear head. Consumes a sequence of
+// [B, input] vars and emits a sequence of [B, output] vars.
+class Lstm : public Module {
+ public:
+  Lstm(long input_size, long hidden_size, long output_size, Rng& rng,
+       Activation output_activation = Activation::kNone);
+
+  // Run over `inputs` (each [B, input]); returns per-step outputs.
+  std::vector<Var> forward(const std::vector<Var>& inputs) const;
+
+  // Run `steps` iterations feeding the same input every step (used when
+  // conditioning on a static context embedding).
+  std::vector<Var> forward_repeat(const Var& input, long steps) const;
+
+  const LSTMCell& cell() const { return cell_; }
+
+ private:
+  LSTMCell cell_;
+  Linear head_;
+  Activation output_activation_;
+};
+
+// Convolutional LSTM cell (Shi et al. 2015): gates are convolutions over
+// the channel-concatenated [x, h] feature map. States are [B, hidden, H, W].
+class ConvLSTMCell : public Module {
+ public:
+  ConvLSTMCell(long input_channels, long hidden_channels, long kernel, Rng& rng);
+
+  LstmState initial_state(long batch, long height, long width) const;
+
+  // x is [B, input_channels, H, W].
+  LstmState step(const Var& x, const LstmState& state) const;
+
+  long hidden_channels() const { return hidden_channels_; }
+
+ private:
+  long input_channels_;
+  long hidden_channels_;
+  Conv2dLayer gates_;  // (input+hidden) -> 4*hidden channels
+};
+
+}  // namespace spectra::nn

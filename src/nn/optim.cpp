@@ -1,0 +1,82 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const Var& p : params_) {
+    SG_CHECK(p.defined() && p.requires_grad(), "optimizer params must be trainable leaves");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Var& p : params_) p.zero_grad();
+}
+
+void Optimizer::clip_grad_norm(float max_norm) {
+  SG_CHECK(max_norm > 0.0f, "clip_grad_norm requires max_norm > 0");
+  double total_sq = 0.0;
+  for (Var& p : params_) {
+    const Tensor& g = p.grad_storage();
+    const long n = g.numel();
+    for (long i = 0; i < n; ++i) total_sq += static_cast<double>(g[i]) * g[i];
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm <= max_norm) return;
+  const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+  for (Var& p : params_) p.grad_storage().scale_(scale);
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Var& p : params_) velocity_.emplace_back(p.value().shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].value_mut();
+    const Tensor& g = params_[k].grad_storage();
+    Tensor& v = velocity_[k];
+    const long n = w.numel();
+    for (long i = 0; i < n; ++i) {
+      v[i] = momentum_ * v[i] - lr_ * g[i];
+      w[i] += v[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].value_mut();
+    const Tensor& g = params_[k].grad_storage();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    const long n = w.numel();
+    for (long i = 0; i < n; ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace spectra::nn

@@ -1,0 +1,61 @@
+// First-order optimizers operating on parameter Vars. Since Vars share
+// their node, the optimizer and the model see the same storage; `step()`
+// updates values in place from the gradients of the last backward().
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace spectra::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  void zero_grad();
+  virtual void step() = 0;
+
+  // Clip all gradients to the given L2 norm (no-op if already within).
+  void clip_grad_norm(float max_norm);
+
+ protected:
+  std::vector<Var> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace spectra::nn

@@ -1,0 +1,121 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace spectra::nn {
+
+long shape_numel(const Shape& shape) {
+  long n = 1;
+  for (long d : shape) {
+    SG_CHECK(d >= 0, "shape dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data)) {
+  SG_CHECK(static_cast<long>(data_.size()) == shape_numel(shape_),
+           "tensor data size does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::scalar(float v) {
+  Tensor t;
+  t.data_[0] = v;
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float v) {
+  Tensor t(std::move(shape));
+  t.fill(v);
+  return t;
+}
+
+long Tensor::dim(int i) const {
+  const int r = rank();
+  if (i < 0) i += r;
+  SG_CHECK(i >= 0 && i < r, "dimension index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+long Tensor::offset(std::initializer_list<long> index) const {
+  SG_CHECK(static_cast<int>(index.size()) == rank(), "index rank mismatch");
+  long off = 0;
+  int i = 0;
+  for (long idx : index) {
+    const long extent = shape_[static_cast<std::size_t>(i)];
+    SG_CHECK(idx >= 0 && idx < extent, "index out of bounds");
+    off = off * extent + idx;
+    ++i;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<long> index) { return data_[static_cast<std::size_t>(offset(index))]; }
+
+float Tensor::at(std::initializer_list<long> index) const {
+  return data_[static_cast<std::size_t>(offset(index))];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  SG_CHECK(shape_numel(new_shape) == numel(),
+           "reshape from " + shape_to_string(shape_) + " to " + shape_to_string(new_shape) +
+               " changes element count");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& other) {
+  SG_CHECK(same_shape(other), "add_: shape mismatch " + shape_to_string(shape_) + " vs " +
+                                  shape_to_string(other.shape_));
+  const float* src = other.data();
+  float* dst = data();
+  const long n = numel();
+  for (long i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::scale_(float v) {
+  for (float& x : data_) x *= v;
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::mean() const { return numel() == 0 ? 0.0f : sum() / static_cast<float>(numel()); }
+
+float Tensor::min() const {
+  SG_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  SG_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+bool Tensor::has_nonfinite() const {
+  return std::any_of(data_.begin(), data_.end(), [](float v) { return !std::isfinite(v); });
+}
+
+}  // namespace spectra::nn

@@ -1,0 +1,90 @@
+// Dense N-dimensional float tensor (row-major), the value type of the
+// from-scratch training stack (DESIGN.md §3, `src/nn/`).
+//
+// The tensor is a plain value: copyable, movable, no view aliasing. All
+// learning-rate-critical kernels (matmul, conv) live in ops.cpp/conv.cpp
+// and operate on raw data pointers; Tensor itself only manages shape and
+// storage, which keeps its invariant trivial (size == product(shape)).
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace spectra::nn {
+
+using Shape = std::vector<long>;
+
+// Total number of elements described by a shape (1 for rank-0).
+long shape_numel(const Shape& shape);
+
+// Human-readable "[2, 3, 4]" form for diagnostics.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  // Rank-0 scalar zero.
+  Tensor() : shape_{}, data_(1, 0.0f) {}
+
+  // Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // Tensor with explicit contents; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor scalar(float v);
+  static Tensor full(Shape shape, float v);
+
+  int rank() const { return static_cast<int>(shape_.size()); }
+  const Shape& shape() const { return shape_; }
+
+  // Extent along dimension `i`; negative `i` counts from the back.
+  long dim(int i) const;
+
+  long numel() const { return static_cast<long>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](long flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
+  float operator[](long flat_index) const { return data_[static_cast<std::size_t>(flat_index)]; }
+
+  // Multi-index accessor (bounds-checked); convenient in tests and
+  // non-critical paths.
+  float& at(std::initializer_list<long> index);
+  float at(std::initializer_list<long> index) const;
+
+  // Flat offset of a multi-index.
+  long offset(std::initializer_list<long> index) const;
+
+  // Same data, new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  // Fill all elements with `v`.
+  void fill(float v);
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // Elementwise in-place accumulation; shapes must match.
+  void add_(const Tensor& other);
+
+  // Multiply all elements by `v`.
+  void scale_(float v);
+
+  // Sum / mean / min / max over all elements.
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+
+  // True if any element is NaN or infinite.
+  bool has_nonfinite() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace spectra::nn

@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace spectra {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  SG_CHECK(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  SG_CHECK(row.size() == header_.size(), "CSV row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+namespace {
+std::string escape_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << escape_cell(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+std::string render_table(const CsvWriter& table) {
+  std::vector<std::size_t> widths(table.header().size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(table.header());
+  for (const auto& row : table.rows()) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  emit(table.header());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    os << std::string(widths[i], '-') << "  ";
+  }
+  os << '\n';
+  for (const auto& row : table.rows()) emit(row);
+  return os.str();
+}
+
+}  // namespace spectra

@@ -1,0 +1,38 @@
+// CSV and console-table writers used by the benchmark harness to emit
+// paper-style result tables (and machine-readable CSV next to them).
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace spectra {
+
+// Accumulates rows of stringified cells and writes them as CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  // Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+  // Write all accumulated rows to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a CsvWriter's contents as an aligned console table (the
+// paper-style row/column view printed by each bench binary).
+std::string render_table(const CsvWriter& table);
+
+}  // namespace spectra

@@ -1,0 +1,28 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace spectra {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+long env_long(const std::string& name, long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end == raw) ? fallback : value;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end == raw) ? fallback : value;
+}
+
+}  // namespace spectra

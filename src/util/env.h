@@ -1,0 +1,16 @@
+// Typed environment-variable readers for the experiment scaling knobs
+// documented in DESIGN.md §6 (SPECTRA_EPOCHS, SPECTRA_T, ...).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spectra {
+
+// Returns the env var value, or `fallback` when unset/unparsable.
+std::string env_string(const std::string& name, const std::string& fallback);
+long env_long(const std::string& name, long fallback);
+double env_double(const std::string& name, double fallback);
+
+}  // namespace spectra

@@ -1,0 +1,9 @@
+#include "util/error.h"
+
+namespace spectra::detail {
+
+void throw_error(const char* file, int line, const std::string& what) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace spectra::detail

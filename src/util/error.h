@@ -1,0 +1,36 @@
+// Error handling primitives for the spectragan library.
+//
+// We follow the C++ Core Guidelines (E.2, E.3): exceptions signal errors
+// that cannot be handled locally; assertions guard internal invariants.
+// `SG_CHECK` is an always-on precondition check that throws
+// `spectra::Error` with file/line context, used at public API boundaries.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spectra {
+
+// Exception type thrown by all library precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& what);
+}  // namespace detail
+
+}  // namespace spectra
+
+// Precondition check at API boundaries; always enabled (Release included)
+// because the cost is negligible next to the numeric kernels it protects.
+#define SG_CHECK(cond, msg)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::spectra::detail::throw_error(__FILE__, __LINE__, (msg));   \
+    }                                                              \
+  } while (false)
+
+#define SG_THROW(msg) ::spectra::detail::throw_error(__FILE__, __LINE__, (msg))

@@ -1,0 +1,52 @@
+#include "util/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spectra {
+
+namespace {
+LogLevel parse_env_level() {
+  const char* raw = std::getenv("SPECTRA_LOG");
+  if (raw == nullptr) return LogLevel::kWarn;
+  const std::string value(raw);
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return level_storage(); }
+
+void set_log_level(LogLevel level) { level_storage() = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace spectra

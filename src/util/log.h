@@ -1,0 +1,46 @@
+// Minimal leveled logger. Kept deliberately simple: single-threaded
+// writers hold no state, and the level can be raised via SPECTRA_LOG.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spectra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; initialized from the SPECTRA_LOG env var
+// ("debug" | "info" | "warn" | "error" | "off", default "warn").
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Emit a message at `level` (no-op when below the global level).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace spectra
+
+#define SG_LOG_DEBUG ::spectra::detail::LogLine(::spectra::LogLevel::kDebug)
+#define SG_LOG_INFO ::spectra::detail::LogLine(::spectra::LogLevel::kInfo)
+#define SG_LOG_WARN ::spectra::detail::LogLine(::spectra::LogLevel::kWarn)
+#define SG_LOG_ERROR ::spectra::detail::LogLine(::spectra::LogLevel::kError)

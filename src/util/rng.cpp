@@ -1,0 +1,94 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace spectra {
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // Use the high 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  SG_CHECK(n > 0, "uniform_index requires n > 0");
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double rate) {
+  SG_CHECK(rate > 0.0, "exponential requires rate > 0");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+int Rng::poisson(double lambda) {
+  SG_CHECK(lambda >= 0.0, "poisson requires lambda >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda > 64.0) {
+    const double v = normal(lambda, std::sqrt(lambda));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  double prod = uniform();
+  int count = 0;
+  while (prod > limit) {
+    prod *= uniform();
+    ++count;
+  }
+  return count;
+}
+
+Rng Rng::split(std::uint64_t tag) {
+  // Mix the tag into a fork of the current state; advancing this stream
+  // afterwards does not perturb the child.
+  const std::uint64_t forked = state_ ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  Rng child(forked);
+  (void)child.next_u64();  // decorrelate from the raw seed
+  return child;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& indices) {
+  for (std::size_t i = indices.size(); i > 1; --i) {
+    const std::size_t j = uniform_index(i);
+    std::swap(indices[i - 1], indices[j]);
+  }
+}
+
+}  // namespace spectra

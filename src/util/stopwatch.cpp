@@ -1,0 +1,11 @@
+#include "util/stopwatch.h"
+
+namespace spectra {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void Stopwatch::reset() { start_ = Clock::now(); }
+
+}  // namespace spectra

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for coarse phase timing in trainers and benches.
+
+#pragma once
+
+#include <chrono>
+
+namespace spectra {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const;
+
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spectra

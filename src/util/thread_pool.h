@@ -1,0 +1,49 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Experiment drivers use this to run independent leave-one-city-out folds
+// concurrently. On single-core hosts the pool degrades gracefully to one
+// worker; all library entry points remain deterministic because each task
+// owns its Rng stream.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spectra {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  // Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace spectra

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/population.h"
+#include "apps/power.h"
+#include "apps/vran.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spectra::apps {
+namespace {
+
+TEST(PowerModelTest, Table6ParameterFormula) {
+  // P(t) = N_trx (P0 + Δp Pmax ρ); macro at full load.
+  const BsPowerParams macro = macro_bs_params();
+  EXPECT_DOUBLE_EQ(bs_power(macro, 0.0), 6.0 * 84.0);
+  EXPECT_DOUBLE_EQ(bs_power(macro, 1.0), 6.0 * (84.0 + 2.8 * 20.0));
+  const BsPowerParams micro = micro_bs_params();
+  EXPECT_DOUBLE_EQ(bs_power(micro, 0.5), 2.0 * (56.0 + 2.6 * 6.3 * 0.5));
+}
+
+TEST(PowerModelTest, LoadClamped) {
+  const BsPowerParams micro = micro_bs_params();
+  EXPECT_DOUBLE_EQ(bs_power(micro, 2.0), bs_power(micro, 1.0));
+  EXPECT_DOUBLE_EQ(bs_power(micro, -1.0), bs_power(micro, 0.0));
+}
+
+TEST(SleepingTest, ZeroTrafficSleepsEverything) {
+  geo::CityTensor zero(10, 5, 5);
+  const SleepingResult result = simulate_bs_sleeping(zero, zero, 0.37, 5);
+  EXPECT_DOUBLE_EQ(result.sleep_fraction, 1.0);
+  EXPECT_GT(result.savings_fraction, 0.5);  // all micro static power saved
+}
+
+TEST(SleepingTest, FullLoadNeverSleeps) {
+  geo::CityTensor full(10, 5, 5);
+  for (double& v : full.values()) v = 1.0;
+  const SleepingResult result = simulate_bs_sleeping(full, full, 0.37, 5);
+  EXPECT_DOUBLE_EQ(result.sleep_fraction, 0.0);
+  EXPECT_NEAR(result.savings_fraction, 0.0, 1e-9);
+}
+
+TEST(SleepingTest, DiurnalTrafficSavesInPaperRange) {
+  // Night hours idle, day hours busy, heavy-tailed spatial amplitudes —
+  // savings should land in the 30-70% band around the paper's 47-62%.
+  geo::CityTensor traffic(48, 10, 10);
+  Rng rng(1);
+  for (long t = 0; t < 48; ++t) {
+    const double diurnal = 0.5 + 0.5 * std::cos(2.0 * M_PI * (t - 14.0) / 24.0);
+    for (long p = 0; p < 100; ++p) {
+      const double amp = rng.uniform(0.05, 1.0);
+      traffic[t * 100 + p] = amp * diurnal;
+    }
+  }
+  const SleepingResult result = simulate_bs_sleeping(traffic, traffic, 0.37, 5);
+  EXPECT_GT(result.savings_fraction, 0.30);
+  EXPECT_LT(result.savings_fraction, 0.75);
+  EXPECT_GT(result.sleep_fraction, 0.3);
+}
+
+TEST(SleepingTest, DecisionAndActualCanDiffer) {
+  geo::CityTensor actual(5, 5, 5);
+  for (double& v : actual.values()) v = 1.0;  // network actually busy
+  geo::CityTensor decision(5, 5, 5);          // decision data says idle
+  const SleepingResult result = simulate_bs_sleeping(decision, actual, 0.37, 5);
+  // Everything sleeps (bad decision) and macros absorb real load.
+  EXPECT_DOUBLE_EQ(result.sleep_fraction, 1.0);
+  geo::CityTensor wrong_shape(5, 4, 5);
+  EXPECT_THROW(simulate_bs_sleeping(decision, wrong_shape), spectra::Error);
+}
+
+TEST(VranTest, PartitionCoversAllRusWithRequestedCus) {
+  geo::GridMap load(8, 9);
+  Rng rng(2);
+  for (long p = 0; p < load.size(); ++p) load[p] = rng.uniform(0, 1);
+  const long cus = 4;
+  const std::vector<long> assignment = partition_rus(load, cus);
+  ASSERT_EQ(assignment.size(), 72u);
+  std::set<long> used(assignment.begin(), assignment.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(cus));
+  for (long a : assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, cus);
+  }
+}
+
+TEST(VranTest, UniformLoadIsNearlyBalanced) {
+  geo::GridMap load(10, 10);
+  for (long p = 0; p < 100; ++p) load[p] = 1.0;
+  const std::vector<long> assignment = partition_rus(load, 4);
+  const std::vector<double> loads = cu_loads(load, assignment, 4);
+  const double jain =
+      (loads[0] + loads[1] + loads[2] + loads[3]) * (loads[0] + loads[1] + loads[2] + loads[3]) /
+      (4.0 * (loads[0] * loads[0] + loads[1] * loads[1] + loads[2] * loads[2] + loads[3] * loads[3]));
+  EXPECT_GT(jain, 0.95);
+}
+
+TEST(VranTest, SkewedLoadStillReasonablyFair) {
+  geo::GridMap load(12, 12);
+  Rng rng(3);
+  for (long i = 0; i < 12; ++i) {
+    for (long j = 0; j < 12; ++j) {
+      // Hotspot at the center.
+      const double d2 = (i - 6.0) * (i - 6.0) + (j - 6.0) * (j - 6.0);
+      load.at(i, j) = std::exp(-d2 / 18.0) + 0.05 * rng.uniform(0, 1);
+    }
+  }
+  const std::vector<long> assignment = partition_rus(load, 6);
+  const std::vector<double> loads = cu_loads(load, assignment, 6);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double l : loads) {
+    sum += l;
+    sum_sq += l * l;
+  }
+  EXPECT_GT(sum * sum / (6.0 * sum_sq), 0.75);
+}
+
+TEST(VranTest, SingleCuDegenerateCase) {
+  geo::GridMap load(4, 4);
+  for (long p = 0; p < 16; ++p) load[p] = 1.0;
+  const std::vector<long> assignment = partition_rus(load, 1);
+  for (long a : assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(cut_edges(assignment, 4, 4), 0);
+}
+
+TEST(VranTest, CutEdgesCountsBoundaries) {
+  // Two vertical halves of a 2x4 grid: 2 cut edges.
+  const std::vector<long> assignment = {0, 0, 1, 1, 0, 0, 1, 1};
+  EXPECT_EQ(cut_edges(assignment, 2, 4), 2);
+}
+
+TEST(VranTest, EvaluateProducesBoundedJain) {
+  geo::CityTensor planning(30, 8, 8);
+  geo::CityTensor evaluation(30, 8, 8);
+  Rng rng(4);
+  for (double& v : planning.values()) v = rng.uniform(0.1, 1.0);
+  for (double& v : evaluation.values()) v = rng.uniform(0.1, 1.0);
+  const VranComparison result = evaluate_vran(planning, evaluation, 4, 0, 0, 24);
+  EXPECT_GT(result.mean_jain, 0.5);
+  EXPECT_LE(result.mean_jain, 1.0);
+  EXPECT_GE(result.std_jain, 0.0);
+  EXPECT_THROW(evaluate_vran(planning, evaluation, 4, 20, 0, 24), spectra::Error);
+}
+
+TEST(VranTest, PlanningWithOwnDataScoresHigher) {
+  // Self-planned associations should be at least as fair as associations
+  // planned from unrelated data.
+  geo::CityTensor a(24, 8, 8);
+  geo::CityTensor unrelated(24, 8, 8);
+  Rng rng(5);
+  for (double& v : a.values()) v = rng.uniform(0.1, 1.0);
+  for (double& v : unrelated.values()) v = rng.uniform(0.1, 1.0);
+  const double self_score = evaluate_vran(a, a, 6, 0, 0, 24).mean_jain;
+  const double cross_score = evaluate_vran(unrelated, a, 6, 0, 0, 24).mean_jain;
+  EXPECT_GE(self_score + 1e-9, cross_score);
+}
+
+TEST(PopulationTest, Eq8ExactValue) {
+  PopulationModelParams params = default_population_params();
+  geo::GridMap traffic(1, 1, {0.5});
+  const long hour = 12;
+  const geo::GridMap pop = estimate_population(traffic, hour, params);
+  const double lambda = params.activity_by_hour[12];
+  const double expected =
+      std::exp(params.k1 * lambda + params.k2) * std::pow(0.5, params.k3 * lambda + params.k4);
+  EXPECT_NEAR(pop[0], expected, 1e-9);
+}
+
+TEST(PopulationTest, ZeroTrafficZeroPopulation) {
+  PopulationModelParams params = default_population_params();
+  geo::GridMap traffic(2, 2);
+  const geo::GridMap pop = estimate_population(traffic, 3, params);
+  EXPECT_DOUBLE_EQ(pop.sum(), 0.0);
+}
+
+TEST(PopulationTest, ActivityCurveValidation) {
+  PopulationModelParams params = default_population_params();
+  EXPECT_EQ(params.activity_by_hour.size(), 24u);
+  geo::GridMap traffic(1, 1, {0.5});
+  EXPECT_THROW(estimate_population(traffic, 24, params), spectra::Error);
+  params.activity_by_hour.resize(10);
+  EXPECT_THROW(estimate_population(traffic, 0, params), spectra::Error);
+}
+
+TEST(PopulationTest, IdenticalTrafficGivesSaturatedPsnr) {
+  geo::CityTensor traffic(24, 5, 5);
+  Rng rng(6);
+  for (double& v : traffic.values()) v = rng.uniform(0.01, 1.0);
+  const TrackingComparison result =
+      compare_population_tracking(traffic, traffic, 24, 1, default_population_params());
+  EXPECT_DOUBLE_EQ(result.mean_psnr, 300.0);
+  EXPECT_DOUBLE_EQ(result.std_psnr, 0.0);
+}
+
+TEST(PopulationTest, NoisierSyntheticLowersPsnr) {
+  geo::CityTensor real(24, 6, 6);
+  Rng rng(7);
+  for (double& v : real.values()) v = rng.uniform(0.1, 1.0);
+  geo::CityTensor close = real;
+  geo::CityTensor far = real;
+  Rng noise(8);
+  for (double& v : close.values()) v = std::max(0.0, v + noise.normal(0.0, 0.01));
+  for (double& v : far.values()) v = std::max(0.0, v + noise.normal(0.0, 0.3));
+  const auto params = default_population_params();
+  const double psnr_close = compare_population_tracking(real, close, 24, 1, params).mean_psnr;
+  const double psnr_far = compare_population_tracking(real, far, 24, 1, params).mean_psnr;
+  EXPECT_GT(psnr_close, psnr_far);
+  EXPECT_GT(psnr_close, 20.0);
+}
+
+class CuCountTest : public testing::TestWithParam<long> {};
+
+TEST_P(CuCountTest, PartitionHandlesPaperCuCounts) {
+  const long cus = GetParam();  // Table 7: 4, 6, 8
+  geo::GridMap load(14, 14);
+  Rng rng(static_cast<std::uint64_t>(cus));
+  for (long p = 0; p < load.size(); ++p) load[p] = rng.uniform(0.0, 1.0);
+  const std::vector<long> assignment = partition_rus(load, cus);
+  std::set<long> used(assignment.begin(), assignment.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(cus));
+  const std::vector<double> loads = cu_loads(load, assignment, cus);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double l : loads) {
+    sum += l;
+    sum_sq += l * l;
+  }
+  EXPECT_GT(sum * sum / (cus * sum_sq), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCuCounts, CuCountTest, testing::Values(4L, 6L, 8L));
+
+}  // namespace
+}  // namespace spectra::apps

@@ -1,0 +1,251 @@
+// The synthetic-city simulator: context channels, ground-truth traffic
+// process (Fig. 1 empirical facts), datasets and the patch sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/city.h"
+#include "data/context.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "data/traffic_process.h"
+#include "dsp/autocorr.h"
+#include "metrics/correlation.h"
+#include "util/error.h"
+
+namespace spectra::data {
+namespace {
+
+LatentFields test_latents(long h = 16, long w = 16, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return sample_latent_fields(h, w, rng);
+}
+
+TEST(ContextTest, TwentySevenAttributeNames) {
+  EXPECT_EQ(context_attribute_names().size(), static_cast<std::size_t>(kNumContextChannels));
+  EXPECT_EQ(kNumContextChannels, 27);
+  EXPECT_EQ(context_attribute_names()[kCensus], "Census");
+  EXPECT_EQ(context_attribute_names()[kTramStops], "Tram Stops");
+}
+
+TEST(ContextTest, LatentFieldsInUnitRange) {
+  const LatentFields f = test_latents();
+  for (long p = 0; p < f.urban.size(); ++p) {
+    EXPECT_GE(f.urban[p], 0.0);
+    EXPECT_LE(f.urban[p], 1.0);
+    EXPECT_GE(f.business_mix[p], 0.0);
+    EXPECT_LE(f.business_mix[p], 1.0);
+  }
+}
+
+TEST(ContextTest, DerivedChannelsNormalized) {
+  LatentFields f = test_latents();
+  Rng rng(4);
+  const geo::ContextTensor context = derive_context(f, rng);
+  EXPECT_EQ(context.steps(), kNumContextChannels);
+  for (long c = 0; c < kNumContextChannels; ++c) {
+    double max_v = 0.0;
+    for (long i = 0; i < context.height(); ++i) {
+      for (long j = 0; j < context.width(); ++j) {
+        const double v = context.at(c, i, j);
+        EXPECT_GE(v, 0.0) << context_attribute_names()[static_cast<std::size_t>(c)];
+        max_v = std::max(max_v, v);
+      }
+    }
+    EXPECT_LE(max_v, 1.0 + 1e-9);
+  }
+}
+
+TEST(TrafficProcessTest, OutputNormalizedAndNonNegative) {
+  LatentFields f = test_latents();
+  Rng rng(5);
+  const geo::CityTensor traffic = synthesize_traffic(f, 168, 60, country1_params(), rng);
+  EXPECT_EQ(traffic.steps(), 168);
+  EXPECT_NEAR(traffic.peak(), 1.0, 1e-12);
+  for (double v : traffic.values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(TrafficProcessTest, DiurnalPeriodicityDominates) {
+  LatentFields f = test_latents();
+  Rng rng(6);
+  const geo::CityTensor traffic = synthesize_traffic(f, 2 * 168, 60, country1_params(), rng);
+  const std::vector<double> city = traffic.space_average();
+  const std::vector<double> r = dsp::autocorrelation(city, 30);
+  EXPECT_GT(r[24], 0.5);  // strong 24 h correlation (Fig. 1c/1d)
+}
+
+TEST(TrafficProcessTest, BusinessPixelsPeakEarlierThanResidential) {
+  TrafficProcessParams params = country1_params();
+  // Find peak hours over a weekday for the two profile extremes.
+  auto peak_hour = [&params](double mix) {
+    double best_v = -1.0;
+    long best_h = 0;
+    for (long h = 0; h < 24; ++h) {
+      const double v = periodic_profile(static_cast<double>(h), mix, params);
+      if (v > best_v) {
+        best_v = v;
+        best_h = h;
+      }
+    }
+    return best_h;
+  };
+  EXPECT_LT(peak_hour(1.0), peak_hour(0.0));
+  EXPECT_GE(peak_hour(1.0), 11);  // business peaks around midday
+  EXPECT_GE(peak_hour(0.0), 18);  // residential peaks in the evening
+}
+
+TEST(TrafficProcessTest, WeekendDampsBusinessTraffic) {
+  TrafficProcessParams params = country1_params();
+  // Saturday noon (day 5) vs Monday noon (day 0) for business pixels.
+  const double weekday = periodic_profile(12.0, 1.0, params);
+  const double weekend = periodic_profile(12.0 + 5 * 24.0, 1.0, params);
+  EXPECT_LT(weekend, 0.8 * weekday);
+}
+
+TEST(TrafficProcessTest, CensusCorrelatesWithTraffic) {
+  LatentFields f = test_latents(18, 18, 8);
+  Rng rng(9);
+  const geo::ContextTensor context = derive_context(f, rng);
+  const geo::CityTensor traffic = synthesize_traffic(f, 168, 60, country1_params(), rng);
+  const geo::GridMap avg = traffic.time_average();
+  geo::GridMap census(18, 18);
+  geo::GridMap barren(18, 18);
+  for (long i = 0; i < 18; ++i) {
+    for (long j = 0; j < 18; ++j) {
+      census.at(i, j) = context.at(kCensus, i, j);
+      barren.at(i, j) = context.at(kBarrenLands, i, j);
+    }
+  }
+  // Table 1 shape: census strongly positive, barren lands negative.
+  EXPECT_GT(metrics::pearson(census, avg), 0.3);
+  EXPECT_LT(metrics::pearson(barren, avg), 0.0);
+}
+
+TEST(TrafficProcessTest, FinerGranularityScalesSteps) {
+  LatentFields f = test_latents(12, 12, 10);
+  Rng rng(11);
+  const geo::CityTensor fine = synthesize_traffic(f, 4 * 168, 15, country2_params(), rng);
+  EXPECT_EQ(fine.steps(), 4 * 168);
+  EXPECT_THROW(synthesize_traffic(f, 10, 7, country1_params(), rng), spectra::Error);
+}
+
+TEST(CityTest, MakeCityAssemblesAllPieces) {
+  Rng rng(12);
+  const City city = make_city("TEST", 14, 15, 2, 60, country1_params(), rng);
+  EXPECT_EQ(city.name, "TEST");
+  EXPECT_EQ(city.height(), 14);
+  EXPECT_EQ(city.width(), 15);
+  EXPECT_EQ(city.steps(), 2 * 168);
+  EXPECT_EQ(city.steps_per_week(), 168);
+  EXPECT_EQ(city.context.steps(), kNumContextChannels);
+}
+
+TEST(DatasetTest, CountryCompositionsMatchPaper) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c1 = make_country1(config);
+  const CountryDataset c2 = make_country2(config);
+  EXPECT_EQ(c1.cities.size(), 9u);  // CITY A..I
+  EXPECT_EQ(c2.cities.size(), 4u);  // CITY 1..4
+  EXPECT_EQ(c1.cities[0].name, "CITY A");
+  EXPECT_EQ(c2.cities[3].name, "CITY 4");
+  EXPECT_NO_THROW(c1.city("CITY D"));
+  EXPECT_THROW(c1.city("CITY Z"), spectra::Error);
+}
+
+TEST(DatasetTest, CitiesHaveDiverseSizes) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c1 = make_country1(config);
+  bool any_diff = false;
+  for (const City& city : c1.cities) {
+    if (city.height() != c1.cities[0].height() || city.width() != c1.cities[0].width()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset a = make_country1(config);
+  const CountryDataset b = make_country1(config);
+  EXPECT_EQ(a.cities[2].traffic.values(), b.cities[2].traffic.values());
+}
+
+TEST(DatasetTest, SeedChangesData) {
+  DatasetConfig a_config;
+  a_config.weeks = 1;
+  DatasetConfig b_config = a_config;
+  b_config.seed = 1234;
+  const CountryDataset a = make_country1(a_config);
+  const CountryDataset b = make_country1(b_config);
+  EXPECT_NE(a.cities[0].traffic.values(), b.cities[0].traffic.values());
+}
+
+TEST(DatasetTest, LeaveOneCityOutFolds) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c2 = make_country2(config);
+  const std::vector<Fold> folds = leave_one_city_out(c2);
+  ASSERT_EQ(folds.size(), 4u);
+  for (const Fold& fold : folds) {
+    EXPECT_EQ(fold.train_indices.size(), 3u);
+    for (std::size_t idx : fold.train_indices) EXPECT_NE(idx, fold.test_index);
+  }
+}
+
+TEST(SamplerTest, BatchShapes) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c2 = make_country2(config);
+  geo::PatchSpec spec;
+  PatchSampler sampler(c2, {0, 1}, spec, 0, 168);
+  Rng rng(13);
+  const PatchBatch batch = sampler.sample(5, rng);
+  EXPECT_EQ(batch.batch, 5);
+  EXPECT_EQ(batch.channels, kNumContextChannels);
+  EXPECT_EQ(batch.context.size(), static_cast<std::size_t>(5 * 27 * 8 * 8));
+  EXPECT_EQ(batch.traffic.size(), static_cast<std::size_t>(5 * 168 * 4 * 4));
+  EXPECT_GT(sampler.window_count(), 0u);
+}
+
+TEST(SamplerTest, TrafficValuesWithinUnitRange) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c2 = make_country2(config);
+  geo::PatchSpec spec;
+  PatchSampler sampler(c2, {0, 1, 2, 3}, spec, 0, 100);
+  Rng rng(14);
+  const PatchBatch batch = sampler.sample(8, rng);
+  for (float v : batch.traffic) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SamplerTest, WindowExceedingDataRejected) {
+  DatasetConfig config;
+  config.weeks = 1;
+  const CountryDataset c2 = make_country2(config);
+  geo::PatchSpec spec;
+  EXPECT_THROW(PatchSampler(c2, {0}, spec, 100, 168), spectra::Error);
+  EXPECT_THROW(PatchSampler(c2, {}, spec, 0, 168), spectra::Error);
+}
+
+class GranularityTest : public testing::TestWithParam<long> {};
+
+TEST_P(GranularityTest, StepsScaleWithGranularity) {
+  const long minutes = GetParam();
+  Rng rng(15);
+  const City city = make_city("G", 12, 12, 1, minutes, country1_params(), rng);
+  EXPECT_EQ(city.steps(), 7 * 24 * 60 / minutes);
+  EXPECT_NEAR(city.traffic.peak(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GranularityTest, testing::Values(60L, 30L, 15L));
+
+}  // namespace
+}  // namespace spectra::data

@@ -1,0 +1,234 @@
+// Spectrum masking, frequency expansion (Fig. 4 / Appendix C),
+// autocorrelation and the signature transform.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/autocorr.h"
+#include "dsp/expansion.h"
+#include "dsp/signature.h"
+#include "dsp/spectrum.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spectra::dsp {
+namespace {
+
+TEST(SpectrumTest, PackUnpackRoundTrip) {
+  std::vector<Complex> spec = {{1.0, -2.0}, {0.5, 0.25}, {-3.0, 4.0}};
+  const std::vector<Complex> back = unpack_interleaved(pack_interleaved(spec));
+  ASSERT_EQ(back.size(), spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), spec[i].real(), 1e-6);
+    EXPECT_NEAR(back[i].imag(), spec[i].imag(), 1e-6);
+  }
+  EXPECT_THROW(unpack_interleaved(std::vector<float>{1.0f}), spectra::Error);
+}
+
+TEST(SpectrumTest, QuantileInterpolation) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.75), 4.0, 1e-12);
+  EXPECT_THROW(quantile({}, 0.5), spectra::Error);
+}
+
+TEST(SpectrumTest, QuantileMaskKeepsLargeBins) {
+  std::vector<Complex> spec;
+  for (int i = 0; i < 8; ++i) spec.emplace_back(i < 2 ? 10.0 + i : 0.1 * i, 0.0);
+  const std::vector<Complex> masked = quantile_mask(spec, 0.75);
+  EXPECT_GT(std::abs(masked[0]), 0.0);
+  EXPECT_GT(std::abs(masked[1]), 0.0);
+  long survivors = 0;
+  for (const Complex& c : masked) {
+    if (std::abs(c) > 0.0) ++survivors;
+  }
+  EXPECT_EQ(survivors, 2);
+}
+
+TEST(SpectrumTest, TopKKeepsLargestMagnitudes) {
+  std::vector<Complex> spec = {{1, 0}, {5, 0}, {3, 0}, {0.5, 0}};
+  const std::vector<Complex> kept = top_k_components(spec, 2);
+  EXPECT_EQ(std::abs(kept[0]), 0.0);
+  EXPECT_EQ(std::abs(kept[1]), 5.0);
+  EXPECT_EQ(std::abs(kept[2]), 3.0);
+  EXPECT_EQ(std::abs(kept[3]), 0.0);
+}
+
+TEST(SpectrumTest, ReconstructTopKApproximatesPeriodicSignal) {
+  // A signal with 2 harmonics + small noise: 5 components (DC + 2x2
+  // conjugate-free rfft bins) recover it almost exactly — the Fig. 1e
+  // observation.
+  const long n = 168;
+  Rng rng(5);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (long t = 0; t < n; ++t) {
+    x[static_cast<std::size_t>(t)] = 1.0 + 0.8 * std::cos(2.0 * M_PI * 7.0 * t / n) +
+                                     0.3 * std::sin(2.0 * M_PI * 1.0 * t / n) +
+                                     0.01 * rng.normal();
+  }
+  const std::vector<double> recon = reconstruct_top_k(x, 5);
+  double err = 0.0;
+  for (long t = 0; t < n; ++t) {
+    err += std::fabs(recon[static_cast<std::size_t>(t)] - x[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_LT(err / n, 0.02);
+}
+
+class ExpansionTest : public testing::TestWithParam<long> {};
+
+TEST_P(ExpansionTest, LengthRule) {
+  const long k = GetParam();
+  // Base F bins of a length-T signal expand to k(F-1)+1 = (kT)/2+1.
+  const long base_t = 24;
+  const long base_bins = base_t / 2 + 1;
+  EXPECT_EQ(expanded_length(base_bins, k), (k * base_t) / 2 + 1);
+}
+
+TEST_P(ExpansionTest, EnergyMultipliedByK) {
+  const long k = GetParam();
+  std::vector<double> x(24);
+  Rng rng(7);
+  for (double& v : x) v = rng.uniform(0, 1);
+  const std::vector<Complex> base = rfft(x);
+  const std::vector<Complex> expanded = expand_frequency(base, k);
+  double base_energy = 0.0, expanded_energy = 0.0;
+  for (const Complex& c : base) base_energy += std::abs(c);
+  for (const Complex& c : expanded) expanded_energy += std::abs(c);
+  EXPECT_NEAR(expanded_energy, k * base_energy, 1e-9);
+}
+
+TEST_P(ExpansionTest, SynthesizedSignalRepeatsBaseWindow) {
+  const long k = GetParam();
+  // Pure periodic base -> expansion reproduces exactly k tiled copies
+  // (Appendix C justification).
+  const long base_t = 24;
+  std::vector<double> x(static_cast<std::size_t>(base_t));
+  for (long t = 0; t < base_t; ++t) {
+    x[static_cast<std::size_t>(t)] =
+        1.0 + std::cos(2.0 * M_PI * t / base_t) + 0.4 * std::sin(2.0 * M_PI * 2 * t / base_t);
+  }
+  const std::vector<double> longer = synthesize_expanded(rfft(x), base_t, k);
+  ASSERT_EQ(longer.size(), static_cast<std::size_t>(k * base_t));
+  for (long t = 0; t < k * base_t; ++t) {
+    EXPECT_NEAR(longer[static_cast<std::size_t>(t)], x[static_cast<std::size_t>(t % base_t)], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ExpansionTest, testing::Values(1L, 2L, 3L, 5L));
+
+TEST(ExpansionTest, IdentityAtKOne) {
+  std::vector<Complex> spec = {{1, 0}, {2, 1}, {0, -1}};
+  const std::vector<Complex> same = expand_frequency(spec, 1);
+  ASSERT_EQ(same.size(), spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_EQ(same[i], spec[i]);
+  }
+}
+
+TEST(AutocorrTest, LagZeroIsOne) {
+  Rng rng(9);
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.normal();
+  const std::vector<double> r = autocorrelation(x, 10);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(AutocorrTest, PeriodicSignalPeaksAtPeriod) {
+  const long period = 24;
+  std::vector<double> x(240);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * M_PI * static_cast<double>(t) / period);
+  }
+  const std::vector<double> r = autocorrelation(x, 48);
+  EXPECT_GT(r[24], 0.8);
+  EXPECT_LT(r[12], -0.6);  // anti-phase at half period
+}
+
+TEST(AutocorrTest, WhiteNoiseDecorrelates) {
+  Rng rng(11);
+  std::vector<double> x(5000);
+  for (double& v : x) v = rng.normal();
+  const std::vector<double> r = autocorrelation(x, 5);
+  for (long l = 1; l <= 5; ++l) {
+    EXPECT_NEAR(r[static_cast<std::size_t>(l)], 0.0, 0.05);
+  }
+}
+
+TEST(AutocorrTest, ConstantSeriesIsZeroByConvention) {
+  std::vector<double> x(50, 3.14);
+  const std::vector<double> r = autocorrelation(x, 5);
+  for (double v : r) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AutocorrTest, Validation) {
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_NO_THROW(autocorrelation(x, 1));
+  EXPECT_THROW(autocorrelation(x, 2), spectra::Error);
+  EXPECT_THROW(autocorrelation({1.0}, 0), spectra::Error);
+}
+
+TEST(SignatureTest, SizeFormula) {
+  EXPECT_EQ(signature_size(3, 1), 3);
+  EXPECT_EQ(signature_size(3, 2), 3 + 9);
+  EXPECT_EQ(signature_size(2, 3), 2 + 4 + 8);
+  EXPECT_THROW(signature_size(2, 4), spectra::Error);
+}
+
+TEST(SignatureTest, Level1IsTotalIncrement) {
+  std::vector<std::vector<double>> path = {{0.0, 1.0}, {2.0, 1.5}, {5.0, -1.0}};
+  const std::vector<double> sig = signature_transform(path, 1, /*time_augment=*/false);
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_NEAR(sig[0], 5.0, 1e-12);
+  EXPECT_NEAR(sig[1], -2.0, 1e-12);
+}
+
+TEST(SignatureTest, Level2AntisymmetricPartIsArea) {
+  // For a closed loop the level-1 terms vanish and the antisymmetric
+  // level-2 part equals the signed enclosed area (Green's theorem).
+  std::vector<std::vector<double>> square = {
+      {0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}};
+  const std::vector<double> sig = signature_transform(square, 2, /*time_augment=*/false);
+  // Layout: [s1 (2), s2 (4: 00,01,10,11)].
+  EXPECT_NEAR(sig[0], 0.0, 1e-12);
+  EXPECT_NEAR(sig[1], 0.0, 1e-12);
+  const double area = 0.5 * (sig[3] - sig[4]);  // (S^{01} - S^{10}) / 2
+  EXPECT_NEAR(area, 1.0, 1e-12);
+}
+
+TEST(SignatureTest, InvariantToLinearInterpolationRefinement) {
+  // The signature of a piecewise-linear path does not change when a
+  // segment is subdivided.
+  std::vector<std::vector<double>> coarse = {{0, 0}, {1, 2}, {3, 1}};
+  std::vector<std::vector<double>> fine = {{0, 0}, {0.5, 1.0}, {1, 2}, {2, 1.5}, {3, 1}};
+  const std::vector<double> a = signature_transform(coarse, 3, false);
+  const std::vector<double> b = signature_transform(fine, 3, false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(SignatureTest, TimeAugmentationDistinguishesSpeed) {
+  // Same spatial trace at different speeds: plain signatures agree,
+  // time-augmented ones differ.
+  std::vector<std::vector<double>> slow = {{0.0}, {0.25}, {0.5}, {0.75}, {1.0}};
+  std::vector<std::vector<double>> fast = {{0.0}, {0.9}, {0.95}, {0.98}, {1.0}};
+  const std::vector<double> plain_slow = signature_transform(slow, 2, false);
+  const std::vector<double> plain_fast = signature_transform(fast, 2, false);
+  EXPECT_NEAR(plain_slow[0], plain_fast[0], 1e-12);
+  const std::vector<double> aug_slow = signature_transform(slow, 2, true);
+  const std::vector<double> aug_fast = signature_transform(fast, 2, true);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < aug_slow.size(); ++i) diff += std::fabs(aug_slow[i] - aug_fast[i]);
+  EXPECT_GT(diff, 0.05);
+}
+
+TEST(SignatureTest, Validation) {
+  EXPECT_THROW(signature_transform({{1.0}}, 2), spectra::Error);
+  EXPECT_THROW(signature_transform({{1.0}, {2.0, 3.0}}, 2), spectra::Error);
+  EXPECT_THROW(signature_transform({{1.0}, {2.0}}, 0), spectra::Error);
+}
+
+}  // namespace
+}  // namespace spectra::dsp

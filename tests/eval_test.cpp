@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "eval/protocol.h"
+#include "eval/report.h"
+#include "util/error.h"
+
+namespace spectra::eval {
+namespace {
+
+data::CountryDataset small_dataset() {
+  data::DatasetConfig dc;
+  dc.weeks = 6;
+  return data::make_country2(dc);
+}
+
+EvalConfig small_eval() {
+  EvalConfig config;
+  config.train_steps = 48;
+  config.generate_steps = 96;
+  config.eval_offset = 48;
+  config.autocorr_max_lag = 48;
+  config.seed = 5;
+  return config;
+}
+
+TEST(EvalConfigTest, GranularityScaling) {
+  const EvalConfig hourly = default_eval_config(60);
+  const EvalConfig quarter = default_eval_config(15);
+  EXPECT_EQ(hourly.train_steps, 168);
+  EXPECT_EQ(quarter.train_steps, 4 * 168);
+  EXPECT_EQ(quarter.generate_steps, 4 * 504);
+  EXPECT_THROW(default_eval_config(7), spectra::Error);
+}
+
+TEST(EvalTest, SelfComparisonIsNearOptimal) {
+  const data::CountryDataset dataset = small_dataset();
+  const EvalConfig config = small_eval();
+  const data::City& city = dataset.cities[0];
+  const geo::CityTensor self = city.traffic.slice_time(config.eval_offset, config.generate_steps);
+  const MetricRow row = compute_metrics("self", city, self, config);
+  EXPECT_NEAR(row.m_tv, 0.0, 1e-9);
+  EXPECT_NEAR(row.ssim, 1.0, 1e-9);
+  EXPECT_NEAR(row.ac_l1, 0.0, 1e-9);
+  EXPECT_GT(row.tstr, 0.5);
+  EXPECT_NEAR(row.fvd, 0.0, 1e-6);
+}
+
+TEST(EvalTest, DataReferenceRowIsStrong) {
+  const data::CountryDataset dataset = small_dataset();
+  const EvalConfig config = small_eval();
+  const MetricRow row = data_reference_row(dataset.cities[1], config);
+  EXPECT_EQ(row.method, "Data");
+  EXPECT_LT(row.m_tv, 0.1);
+  EXPECT_GT(row.ssim, 0.9);
+}
+
+TEST(EvalTest, FvdCanBeDisabled) {
+  const data::CountryDataset dataset = small_dataset();
+  EvalConfig config = small_eval();
+  config.compute_fvd = false;
+  const MetricRow row = data_reference_row(dataset.cities[0], config);
+  EXPECT_TRUE(std::isnan(row.fvd));
+}
+
+TEST(EvalTest, AverageByMethod) {
+  MetricRow a{"m1", "c1", 0.2, 0.8, 10.0, 0.9, 100.0};
+  MetricRow b{"m1", "c2", 0.4, 0.6, 20.0, 0.7, 200.0};
+  MetricRow c{"m2", "c1", 1.0, 0.1, 99.0, 0.0, 999.0};
+  const std::vector<MetricRow> averaged = average_by_method({a, b, c});
+  ASSERT_EQ(averaged.size(), 2u);
+  EXPECT_EQ(averaged[0].method, "m1");
+  EXPECT_NEAR(averaged[0].m_tv, 0.3, 1e-12);
+  EXPECT_NEAR(averaged[0].ssim, 0.7, 1e-12);
+  EXPECT_NEAR(averaged[1].ac_l1, 99.0, 1e-12);
+}
+
+TEST(EvalTest, CityTensorRoundTrip) {
+  geo::CityTensor t(3, 4, 5);
+  Rng rng(9);
+  for (double& v : t.values()) v = rng.uniform(0, 1);
+  const std::string path = testing::TempDir() + "/sg_city_tensor.sgt";
+  save_city_tensor(path, t);
+  const std::optional<geo::CityTensor> back = load_city_tensor(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->steps(), 3);
+  EXPECT_EQ(back->width(), 5);
+  EXPECT_EQ(back->values(), t.values());
+  EXPECT_FALSE(load_city_tensor("/nonexistent.sgt").has_value());
+}
+
+TEST(EvalTest, GenerateForFoldUsesCache) {
+  const data::CountryDataset dataset = small_dataset();
+  EvalConfig config = small_eval();
+  const std::string cache = testing::TempDir() + "/sg_cache_test";
+  std::filesystem::remove_all(cache);
+  config.cache_dir = cache;
+
+  core::SpectraGanConfig base;
+  base.iterations = 2;
+  base.batch = 2;
+  base.train_steps = config.train_steps;
+  base.spectrum_bins = 8;
+  base.hidden_channels = 6;
+  base.encoder_mid_channels = 8;
+  base.spectrum_mid_channels = 8;
+  base.lstm_hidden = 8;
+  base.cond_dim = 8;
+  base.disc_mlp_hidden = 8;
+
+  const data::Fold fold{0, {1, 2, 3}};
+  const geo::CityTensor first = generate_for_fold("FDAS", base, dataset, fold, config);
+  EXPECT_EQ(first.steps(), config.generate_steps);
+  // Second call must come from cache and match bit-for-bit.
+  const geo::CityTensor second = generate_for_fold("FDAS", base, dataset, fold, config);
+  EXPECT_EQ(first.values(), second.values());
+  std::filesystem::remove_all(cache);
+}
+
+TEST(ReportTest, MetricsTableLayout) {
+  MetricRow row{"SpectraGAN", "CITY A", 0.0362, 0.787, 46.8, 0.893, 205.0};
+  const CsvWriter with_fvd = metrics_table({row}, true);
+  EXPECT_EQ(with_fvd.header().size(), 6u);
+  const CsvWriter with_city = metrics_table({row}, false, true);
+  EXPECT_EQ(with_city.header()[0], "City");
+  EXPECT_EQ(with_city.rows()[0][0], "CITY A");
+}
+
+TEST(ReportTest, NanFvdRendersDash) {
+  MetricRow row{"X", "c", 0.1, 0.5, 1.0, 0.5, std::nan("")};
+  const CsvWriter table = metrics_table({row}, true);
+  EXPECT_EQ(table.rows()[0].back(), "-");
+}
+
+TEST(ReportTest, AsciiMapDimensions) {
+  geo::GridMap m(3, 5);
+  m.at(1, 2) = 1.0;
+  const std::string art = ascii_map(m);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(ReportTest, PgmWriterProducesValidHeaderAndSize) {
+  geo::GridMap m(3, 4);
+  m.at(1, 2) = 1.0;
+  const std::string path = testing::TempDir() + "/sg_map.pgm";
+  ASSERT_TRUE(write_pgm(m, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic, dims1, dims2, maxval;
+  in >> magic >> dims1 >> dims2 >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(dims1, "4");
+  EXPECT_EQ(dims2, "3");
+  EXPECT_EQ(maxval, "255");
+  in.get();  // single whitespace after header
+  std::vector<unsigned char> pixels(12);
+  in.read(reinterpret_cast<char*>(pixels.data()), 12);
+  ASSERT_TRUE(static_cast<bool>(in));
+  EXPECT_EQ(pixels[1 * 4 + 2], 255);  // the peak pixel
+  EXPECT_EQ(pixels[0], 0);
+  EXPECT_FALSE(write_pgm(m, "/nonexistent_dir/x.pgm"));
+}
+
+TEST(ReportTest, SeriesTables) {
+  const CsvWriter single = series_table({1.0, 2.0}, "traffic");
+  EXPECT_EQ(single.rows().size(), 2u);
+  const CsvWriter multi = multi_series_table({"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(multi.header().size(), 3u);
+  EXPECT_EQ(multi.rows()[1][2], "4");
+  EXPECT_THROW(multi_series_table({"a"}, {{1.0}, {2.0}}), spectra::Error);
+}
+
+}  // namespace
+}  // namespace spectra::eval

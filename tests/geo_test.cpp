@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "geo/city_tensor.h"
+#include "geo/grid.h"
+#include "geo/patching.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spectra::geo {
+namespace {
+
+TEST(GridMapTest, AccessorsAndBounds) {
+  GridMap m(3, 4);
+  m.at(2, 3) = 7.0;
+  EXPECT_EQ(m[2 * 4 + 3], 7.0);
+  EXPECT_THROW(m.at(3, 0), spectra::Error);
+  EXPECT_THROW(m.at(0, 4), spectra::Error);
+}
+
+TEST(GridMapTest, Statistics) {
+  GridMap m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+}
+
+TEST(GridMapTest, NormalizePeak) {
+  GridMap m(1, 3, {1.0, 2.0, 4.0});
+  m.normalize_peak();
+  EXPECT_DOUBLE_EQ(m.max(), 1.0);
+  EXPECT_DOUBLE_EQ(m[0], 0.25);
+  GridMap zeros(2, 2);
+  zeros.normalize_peak();  // no-op, no division by zero
+  EXPECT_DOUBLE_EQ(zeros.max(), 0.0);
+}
+
+TEST(GridMapTest, AddScaleFill) {
+  GridMap a(1, 2, {1.0, 2.0});
+  GridMap b(1, 2, {10.0, 20.0});
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a[1], 22.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a[0], 5.5);
+  a.fill(0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  GridMap c(2, 1);
+  EXPECT_THROW(a.add(c), spectra::Error);
+}
+
+TEST(CityTensorTest, FrameRoundTrip) {
+  CityTensor t(3, 2, 2);
+  GridMap f(2, 2, {1.0, 2.0, 3.0, 4.0});
+  t.set_frame(1, f);
+  const GridMap back = t.frame(1);
+  for (long p = 0; p < 4; ++p) EXPECT_DOUBLE_EQ(back[p], f[p]);
+  EXPECT_DOUBLE_EQ(t.frame(0).sum(), 0.0);
+  EXPECT_THROW(t.frame(3), spectra::Error);
+}
+
+TEST(CityTensorTest, TimeAverage) {
+  CityTensor t(2, 1, 2);
+  t.at(0, 0, 0) = 2.0;
+  t.at(1, 0, 0) = 4.0;
+  t.at(0, 0, 1) = 0.0;
+  t.at(1, 0, 1) = 6.0;
+  const GridMap avg = t.time_average();
+  EXPECT_DOUBLE_EQ(avg.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(avg.at(0, 1), 3.0);
+}
+
+TEST(CityTensorTest, SpaceAverageAndPixelSeries) {
+  CityTensor t(2, 2, 1);
+  t.at(0, 0, 0) = 1.0;
+  t.at(0, 1, 0) = 3.0;
+  t.at(1, 0, 0) = 5.0;
+  t.at(1, 1, 0) = 7.0;
+  const std::vector<double> s = t.space_average();
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const std::vector<double> p = t.pixel_series(1, 0);
+  EXPECT_DOUBLE_EQ(p[0], 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 7.0);
+}
+
+TEST(CityTensorTest, SliceTime) {
+  CityTensor t(5, 1, 1);
+  for (long k = 0; k < 5; ++k) t.at(k, 0, 0) = k;
+  const CityTensor s = t.slice_time(1, 3);
+  EXPECT_EQ(s.steps(), 3);
+  EXPECT_DOUBLE_EQ(s.at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 0, 0), 3.0);
+  EXPECT_THROW(t.slice_time(3, 3), spectra::Error);
+}
+
+TEST(CityTensorTest, PeakNormalizeAndClamp) {
+  CityTensor t(1, 1, 3);
+  t.at(0, 0, 0) = -1.0;
+  t.at(0, 0, 1) = 2.0;
+  t.at(0, 0, 2) = 4.0;
+  t.normalize_peak();
+  EXPECT_DOUBLE_EQ(t.peak(), 1.0);
+  t.clamp(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0, 0), 0.0);
+}
+
+TEST(PatchSpecTest, Validation) {
+  PatchSpec good;
+  EXPECT_NO_THROW(good.validate());
+  PatchSpec small_context = good;
+  small_context.context_h = 2;
+  EXPECT_THROW(small_context.validate(), spectra::Error);
+  PatchSpec odd_halo = good;
+  odd_halo.context_h = 9;
+  EXPECT_THROW(odd_halo.validate(), spectra::Error);
+  PatchSpec big_stride = good;
+  big_stride.stride = 5;
+  EXPECT_THROW(big_stride.validate(), spectra::Error);
+  EXPECT_EQ(good.halo_h(), 2);
+}
+
+struct WindowCase {
+  long height;
+  long width;
+  long stride;
+};
+
+class WindowCoverageTest : public testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowCoverageTest, EveryPixelCovered) {
+  const WindowCase c = GetParam();
+  PatchSpec spec;
+  spec.stride = c.stride;
+  const std::vector<PatchWindow> windows = enumerate_windows(c.height, c.width, spec);
+  std::vector<int> covered(static_cast<std::size_t>(c.height * c.width), 0);
+  for (const PatchWindow& w : windows) {
+    EXPECT_GE(w.row, 0);
+    EXPECT_LE(w.row + spec.traffic_h, c.height);
+    for (long i = 0; i < spec.traffic_h; ++i) {
+      for (long j = 0; j < spec.traffic_w; ++j) {
+        ++covered[static_cast<std::size_t>((w.row + i) * c.width + w.col + j)];
+      }
+    }
+  }
+  for (int v : covered) EXPECT_GE(v, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, WindowCoverageTest,
+                         testing::Values(WindowCase{12, 12, 2}, WindowCase{13, 17, 2},
+                                         WindowCase{16, 15, 3}, WindowCase{4, 4, 2},
+                                         WindowCase{21, 8, 4}, WindowCase{9, 31, 1}));
+
+TEST(PatchExtractionTest, ContextHaloZeroPadded) {
+  ContextTensor context(2, 6, 6);
+  for (long c = 0; c < 2; ++c) {
+    for (long i = 0; i < 6; ++i) {
+      for (long j = 0; j < 6; ++j) context.at(c, i, j) = 1.0;
+    }
+  }
+  PatchSpec spec;  // traffic 4x4, context 8x8, halo 2
+  const std::vector<float> patch = extract_context_patch(context, {0, 0}, spec);
+  ASSERT_EQ(patch.size(), static_cast<std::size_t>(2 * 8 * 8));
+  // Top-left corner of the context patch is outside the map -> zero.
+  EXPECT_FLOAT_EQ(patch[0], 0.0f);
+  // Center is inside -> one.
+  EXPECT_FLOAT_EQ(patch[3 * 8 + 3], 1.0f);
+}
+
+TEST(PatchExtractionTest, TrafficPatchValues) {
+  CityTensor traffic(2, 6, 6);
+  traffic.at(1, 2, 3) = 42.0;
+  PatchSpec spec;
+  const std::vector<float> patch = extract_traffic_patch(traffic, {2, 2}, spec);
+  // [T=2, 4, 4]; value at t=1, local (0,1).
+  EXPECT_FLOAT_EQ(patch[16 + 0 * 4 + 1], 42.0f);
+  EXPECT_THROW(extract_traffic_patch(traffic, {4, 0}, spec), spectra::Error);
+}
+
+TEST(OverlapAccumulatorTest, AveragesOverlappingPatches) {
+  PatchSpec spec;
+  spec.stride = 2;
+  OverlapAccumulator acc(1, 6, 6);
+  const std::vector<PatchWindow> windows = enumerate_windows(6, 6, spec);
+  // Every patch contributes the constant 2.0: the average must be 2.0
+  // everywhere regardless of multiplicity (Eq. 2 sanity).
+  const std::vector<float> patch(static_cast<std::size_t>(1 * 4 * 4), 2.0f);
+  for (const PatchWindow& w : windows) acc.add_patch(w, spec, patch);
+  const CityTensor out = acc.finalize();
+  for (long i = 0; i < 6; ++i) {
+    for (long j = 0; j < 6; ++j) EXPECT_NEAR(out.at(0, i, j), 2.0, 1e-9);
+  }
+}
+
+TEST(OverlapAccumulatorTest, DistinctValuesAverage) {
+  PatchSpec spec;
+  spec.traffic_h = 2;
+  spec.traffic_w = 2;
+  spec.context_h = 2;
+  spec.context_w = 2;
+  spec.stride = 1;
+  OverlapAccumulator acc(1, 2, 3);
+  // Two overlapping 2x2 patches over a 2x3 map: columns 1 get both.
+  std::vector<float> ones(4, 1.0f);
+  std::vector<float> threes(4, 3.0f);
+  acc.add_patch({0, 0}, spec, ones);
+  acc.add_patch({0, 1}, spec, threes);
+  const CityTensor out = acc.finalize();
+  EXPECT_NEAR(out.at(0, 0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(out.at(0, 0, 1), 2.0, 1e-9);  // (1+3)/2
+  EXPECT_NEAR(out.at(0, 0, 2), 3.0, 1e-9);
+}
+
+TEST(OverlapAccumulatorTest, MedianAggregationRobustToOutlierPatch) {
+  // Paper §2.2.4 leaves beyond-average aggregation as future work; the
+  // median extension must ignore a single corrupted patch.
+  PatchSpec spec;
+  spec.traffic_h = 2;
+  spec.traffic_w = 2;
+  spec.context_h = 2;
+  spec.context_w = 2;
+  spec.stride = 1;
+  OverlapAccumulator mean_acc(1, 2, 2, OverlapAggregation::kMean);
+  OverlapAccumulator median_acc(1, 2, 2, OverlapAggregation::kMedian);
+  const std::vector<float> good(4, 1.0f);
+  const std::vector<float> outlier(4, 100.0f);
+  for (auto* acc : {&mean_acc, &median_acc}) {
+    acc->add_patch({0, 0}, spec, good);
+    acc->add_patch({0, 0}, spec, good);
+    acc->add_patch({0, 0}, spec, outlier);
+  }
+  EXPECT_NEAR(mean_acc.finalize().at(0, 0, 0), 34.0, 1e-9);
+  EXPECT_NEAR(median_acc.finalize().at(0, 0, 0), 1.0, 1e-9);
+}
+
+TEST(OverlapAccumulatorTest, MedianOfEvenCountAveragesCentralPair) {
+  PatchSpec spec;
+  spec.traffic_h = 2;
+  spec.traffic_w = 2;
+  spec.context_h = 2;
+  spec.context_w = 2;
+  spec.stride = 1;
+  OverlapAccumulator acc(1, 2, 2, OverlapAggregation::kMedian);
+  acc.add_patch({0, 0}, spec, std::vector<float>(4, 1.0f));
+  acc.add_patch({0, 0}, spec, std::vector<float>(4, 3.0f));
+  EXPECT_NEAR(acc.finalize().at(0, 0, 0), 2.0, 1e-9);
+}
+
+TEST(OverlapAccumulatorTest, MedianMatchesMeanWhenPatchesAgree) {
+  PatchSpec spec;
+  spec.stride = 2;
+  OverlapAccumulator mean_acc(1, 8, 8, OverlapAggregation::kMean);
+  OverlapAccumulator median_acc(1, 8, 8, OverlapAggregation::kMedian);
+  const std::vector<float> patch(16, 0.7f);
+  for (const PatchWindow& w : enumerate_windows(8, 8, spec)) {
+    mean_acc.add_patch(w, spec, patch);
+    median_acc.add_patch(w, spec, patch);
+  }
+  const CityTensor a = mean_acc.finalize();
+  const CityTensor b = median_acc.finalize();
+  for (long p = 0; p < 64; ++p) EXPECT_NEAR(a[p], b[p], 1e-6);
+}
+
+TEST(OverlapAccumulatorTest, UncoveredPixelRejected) {
+  PatchSpec spec;
+  OverlapAccumulator acc(1, 8, 8);
+  acc.add_patch({0, 0}, spec, std::vector<float>(16, 1.0f));
+  EXPECT_THROW(acc.finalize(), spectra::Error);
+}
+
+}  // namespace
+}  // namespace spectra::geo

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+#include "util/error.h"
+
+namespace spectra::nn {
+namespace {
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  Tensor t = init::xavier_uniform({10, 20}, 10, 20, rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (long i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), bound + 1e-6);
+  }
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  Tensor t = init::he_normal({200, 50}, 200, rng);
+  double sum_sq = 0.0;
+  for (long i = 0; i < t.numel(); ++i) sum_sq += t[i] * t[i];
+  EXPECT_NEAR(sum_sq / t.numel(), 2.0 / 200.0, 2e-3);
+}
+
+TEST(InitTest, Zeros) {
+  Tensor t = init::zeros({4, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(LinearTest, ForwardShapeAndValue) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  Var x = Var::constant(Tensor({2, 4}, {1, 0, 0, 0, 0, 1, 0, 0}));
+  Var y = layer.forward(x);
+  EXPECT_EQ(y.value().dim(0), 2);
+  EXPECT_EQ(y.value().dim(1), 3);
+  EXPECT_THROW(layer.forward(Var::constant(Tensor({2, 5}))), spectra::Error);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Rng rng(4);
+  Linear layer(10, 7, rng);
+  EXPECT_EQ(layer.parameter_count(), 10 * 7 + 7);
+  EXPECT_EQ(layer.parameters().size(), 2u);
+}
+
+TEST(MlpTest, HiddenAndOutputActivations) {
+  Rng rng(5);
+  Mlp mlp({3, 8, 1}, Activation::kRelu, Activation::kSigmoid, rng);
+  Var x = Var::constant(Tensor({4, 3}));
+  Var y = mlp.forward(x);
+  EXPECT_EQ(y.value().dim(1), 1);
+  for (long i = 0; i < y.value().numel(); ++i) {
+    EXPECT_GE(y.value()[i], 0.0f);
+    EXPECT_LE(y.value()[i], 1.0f);
+  }
+}
+
+TEST(ConvStackTest, PreservesSpatialWithPadding) {
+  Rng rng(6);
+  ConvStack stack({3, 8, 2}, 3, Conv2dSpec{.stride = 1, .padding = 1}, Activation::kLeakyRelu,
+                  Activation::kNone, rng);
+  Var x = Var::constant(Tensor({2, 3, 5, 7}));
+  Var y = stack.forward(x);
+  EXPECT_EQ(y.value().dim(1), 2);
+  EXPECT_EQ(y.value().dim(2), 5);
+  EXPECT_EQ(y.value().dim(3), 7);
+}
+
+TEST(LstmCellTest, StepShapesAndStateEvolution) {
+  Rng rng(7);
+  LSTMCell cell(5, 8, rng);
+  LstmState state = cell.initial_state(3);
+  EXPECT_EQ(state.h.value().dim(1), 8);
+  Var x = Var::constant(init::gaussian({3, 5}, 1.0f, rng));
+  LstmState next = cell.step(x, state);
+  EXPECT_EQ(next.h.value().dim(0), 3);
+  // Cell output bounded by tanh.
+  for (long i = 0; i < next.h.value().numel(); ++i) {
+    EXPECT_LE(std::fabs(next.h.value()[i]), 1.0f);
+  }
+}
+
+TEST(LstmCellTest, ForgetBiasInitializedToOne) {
+  Rng rng(8);
+  LSTMCell cell(2, 4, rng);
+  const std::vector<Var> params = cell.parameters();
+  const Tensor& bias = params[2].value();  // wx, wh, bias registration order
+  ASSERT_EQ(bias.numel(), 16);
+  for (long i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(bias[i], 1.0f);
+  EXPECT_FLOAT_EQ(bias[0], 0.0f);
+}
+
+TEST(LstmTest, ForwardRepeatProducesSteps) {
+  Rng rng(9);
+  Lstm lstm(4, 6, 2, rng);
+  Var input = Var::constant(init::gaussian({3, 4}, 1.0f, rng));
+  const std::vector<Var> outputs = lstm.forward_repeat(input, 10);
+  EXPECT_EQ(outputs.size(), 10u);
+  EXPECT_EQ(outputs[0].value().dim(1), 2);
+  // The recurrent state evolves: consecutive outputs differ.
+  bool any_diff = false;
+  for (long i = 0; i < outputs[0].value().numel(); ++i) {
+    if (std::fabs(outputs[0].value()[i] - outputs[9].value()[i]) > 1e-6) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ConvLstmTest, StepPreservesGeometry) {
+  Rng rng(10);
+  ConvLSTMCell cell(3, 5, 3, rng);
+  LstmState state = cell.initial_state(2, 4, 6);
+  Var x = Var::constant(init::gaussian({2, 3, 4, 6}, 1.0f, rng));
+  LstmState next = cell.step(x, state);
+  EXPECT_EQ(next.h.value().dim(1), 5);
+  EXPECT_EQ(next.h.value().dim(2), 4);
+  EXPECT_EQ(next.h.value().dim(3), 6);
+}
+
+TEST(ConvLstmTest, EvenKernelRejected) {
+  Rng rng(11);
+  EXPECT_THROW(ConvLSTMCell(3, 5, 4, rng), spectra::Error);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // Minimize (w - 3)^2.
+  Var w = Var::leaf(Tensor::scalar(0.0f));
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    Var loss = mul(add_scalar(w, -3.0f), add_scalar(w, -3.0f));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value()[0], 3.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamFitsLinearRegression) {
+  Rng rng(12);
+  // y = x * W* with W* = [[2], [-1]].
+  Tensor x_data = init::gaussian({64, 2}, 1.0f, rng);
+  Tensor y_data({64, 1});
+  for (long i = 0; i < 64; ++i) {
+    y_data[i] = 2.0f * x_data[i * 2] - 1.0f * x_data[i * 2 + 1];
+  }
+  Linear model(2, 1, rng);
+  Adam opt(model.parameters(), 0.05f);
+  Var x = Var::constant(x_data);
+  Var y = Var::constant(y_data);
+  float final_loss = 1e9f;
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    Var loss = mse_loss(model.forward(x), y);
+    loss.backward();
+    opt.step();
+    final_loss = loss.value()[0];
+  }
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(OptimizerTest, GradClipScalesLargeGradients) {
+  Var w = Var::leaf(Tensor({2}, {1.0f, 1.0f}));
+  Sgd opt({w}, 1.0f);
+  opt.zero_grad();
+  Var loss = sum(mul_scalar(w, 100.0f));
+  loss.backward();
+  opt.clip_grad_norm(1.0f);
+  double norm_sq = 0.0;
+  for (long i = 0; i < 2; ++i) norm_sq += w.grad()[i] * w.grad()[i];
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-4);
+}
+
+TEST(OptimizerTest, RejectsConstants) {
+  EXPECT_THROW(Sgd({Var::constant(Tensor::scalar(1.0f))}, 0.1f), spectra::Error);
+}
+
+TEST(SerializeTest, RoundTripPreservesParameters) {
+  Rng rng(13);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // different init
+  const std::string path = testing::TempDir() + "/sg_params_test.bin";
+  std::vector<Var> pa = a.parameters();
+  save_parameters(path, pa);
+  std::vector<Var> pb = b.parameters();
+  load_parameters(path, pb);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (long j = 0; j < pa[i].value().numel(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i].value()[j], pb[i].value()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(14);
+  Linear a(4, 3, rng);
+  Linear wrong(5, 3, rng);
+  const std::string path = testing::TempDir() + "/sg_params_mismatch.bin";
+  std::vector<Var> pa = a.parameters();
+  save_parameters(path, pa);
+  std::vector<Var> pw = wrong.parameters();
+  EXPECT_THROW(load_parameters(path, pw), spectra::Error);
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  Rng rng(15);
+  Linear a(2, 2, rng);
+  std::vector<Var> pa = a.parameters();
+  EXPECT_THROW(load_parameters("/nonexistent/sg.bin", pa), spectra::Error);
+}
+
+// Parameterized sweep: MLP trained on a separable toy task converges for
+// a range of widths.
+class MlpWidthTest : public testing::TestWithParam<long> {};
+
+TEST_P(MlpWidthTest, FitsXorLikeTask) {
+  const long width = GetParam();
+  Rng rng(16);
+  Mlp mlp({2, width, 1}, Activation::kTanh, Activation::kNone, rng);
+  // XOR corners.
+  Tensor x({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y({4, 1}, {0, 1, 1, 0});
+  Adam opt(mlp.parameters(), 0.05f);
+  float loss_v = 1e9f;
+  for (int i = 0; i < 600; ++i) {
+    opt.zero_grad();
+    Var loss = mse_loss(mlp.forward(Var::constant(x)), Var::constant(y));
+    loss.backward();
+    opt.step();
+    loss_v = loss.value()[0];
+  }
+  EXPECT_LT(loss_v, 0.05f) << "width " << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MlpWidthTest, testing::Values(4L, 8L, 16L));
+
+}  // namespace
+}  // namespace spectra::nn

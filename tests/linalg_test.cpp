@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/linalg.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spectra::metrics {
+namespace {
+
+TEST(SolveTest, KnownSystem) {
+  SquareMatrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  SquareMatrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const std::vector<double> x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularRejected) {
+  SquareMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), spectra::Error);
+}
+
+TEST(SolveTest, RandomSystemResidual) {
+  Rng rng(1);
+  const long n = 8;
+  SquareMatrix a(n);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    b[static_cast<std::size_t>(i)] = rng.uniform(-1, 1);
+    for (long j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1, 1);
+    a.at(i, i) += 4.0;  // diagonally dominant => well conditioned
+  }
+  const SquareMatrix a_copy = a;
+  const std::vector<double> x = solve_linear_system(a, b);
+  for (long i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (long j = 0; j < n; ++j) acc += a_copy.at(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(acc, b[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  SquareMatrix a(3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = -1.0;
+  a.at(2, 2) = 5.0;
+  std::vector<double> values;
+  SquareMatrix v(3);
+  symmetric_eigen(a, values, v);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], -1.0, 1e-10);
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+  EXPECT_NEAR(values[2], 5.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Rng rng(2);
+  const long n = 5;
+  SquareMatrix a(n);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1, 1);
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  std::vector<double> values;
+  SquareMatrix v(n);
+  symmetric_eigen(a, values, v);
+  // A == V diag(values) V^T.
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (long k = 0; k < n; ++k) {
+        acc += v.at(i, k) * values[static_cast<std::size_t>(k)] * v.at(j, k);
+      }
+      EXPECT_NEAR(acc, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SqrtmTest, SquaresBackToOriginal) {
+  Rng rng(3);
+  const long n = 4;
+  // Build PSD A = B B^T.
+  SquareMatrix b(n);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) b.at(i, j) = rng.uniform(-1, 1);
+  }
+  SquareMatrix bt(n);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) bt.at(i, j) = b.at(j, i);
+  }
+  const SquareMatrix a = matmul(b, bt);
+  const SquareMatrix root = sqrtm_psd(a);
+  const SquareMatrix squared = matmul(root, root);
+  for (long i = 0; i < n; ++i) {
+    for (long j = 0; j < n; ++j) EXPECT_NEAR(squared.at(i, j), a.at(i, j), 1e-8);
+  }
+}
+
+TEST(TraceTest, SumsDiagonal) {
+  SquareMatrix a(3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  a.at(2, 2) = 3.5;
+  a.at(0, 2) = 100.0;
+  EXPECT_DOUBLE_EQ(trace(a), 6.5);
+}
+
+}  // namespace
+}  // namespace spectra::metrics

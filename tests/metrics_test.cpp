@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/autocorr_l1.h"
+#include "metrics/correlation.h"
+#include "metrics/fairness.h"
+#include "metrics/fvd.h"
+#include "metrics/marginal.h"
+#include "metrics/psnr.h"
+#include "metrics/ssim.h"
+#include "metrics/tstr.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace spectra::metrics {
+namespace {
+
+geo::CityTensor random_tensor(long t, long h, long w, std::uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  geo::CityTensor tensor(t, h, w);
+  for (double& v : tensor.values()) v = rng.uniform(0.0, scale);
+  return tensor;
+}
+
+// A deterministic diurnal tensor with per-pixel amplitudes.
+geo::CityTensor diurnal_tensor(long t, long h, long w, double phase = 0.0) {
+  geo::CityTensor tensor(t, h, w);
+  for (long step = 0; step < t; ++step) {
+    for (long i = 0; i < h; ++i) {
+      for (long j = 0; j < w; ++j) {
+        const double amp = 0.2 + 0.8 * static_cast<double>(i * w + j) / (h * w);
+        tensor.at(step, i, j) =
+            amp * (1.0 + 0.8 * std::cos(2.0 * M_PI * (step - phase) / 24.0));
+      }
+    }
+  }
+  return tensor;
+}
+
+TEST(MarginalTest, HistogramNormalized) {
+  const std::vector<double> h = histogram({0.1, 0.2, 0.9}, 0.0, 1.0, 10);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(h[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(MarginalTest, OutOfRangeClamped) {
+  const std::vector<double> h = histogram({-1.0, 2.0}, 0.0, 1.0, 4);
+  EXPECT_NEAR(h[0], 0.5, 1e-12);
+  EXPECT_NEAR(h[3], 0.5, 1e-12);
+}
+
+TEST(MarginalTest, TotalVariationProperties) {
+  EXPECT_NEAR(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  EXPECT_NEAR(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-12);
+  EXPECT_THROW(total_variation({1.0}, {0.5, 0.5}), spectra::Error);
+}
+
+TEST(MarginalTest, IdenticalTensorsScoreZero) {
+  const geo::CityTensor a = random_tensor(50, 6, 6, 1);
+  EXPECT_NEAR(marginal_tv(a, a), 0.0, 1e-12);
+}
+
+TEST(MarginalTest, ShiftedDistributionScoresHigh) {
+  const geo::CityTensor a = random_tensor(50, 6, 6, 1, 0.3);
+  geo::CityTensor b = a;
+  for (double& v : b.values()) v += 0.6;
+  EXPECT_GT(marginal_tv(a, b), 0.8);
+}
+
+TEST(SsimTest, IdenticalMapsScoreOne) {
+  geo::GridMap m(4, 4, {0.1, 0.5, 0.9, 0.3, 0.2, 0.8, 0.4, 0.7, 0.6, 0.15, 0.25, 0.35, 0.45,
+                        0.55, 0.65, 0.75});
+  EXPECT_NEAR(ssim(m, m), 1.0, 1e-9);
+}
+
+TEST(SsimTest, UncorrelatedMapsScoreLow) {
+  Rng rng(2);
+  geo::GridMap a(8, 8);
+  geo::GridMap b(8, 8);
+  for (long p = 0; p < 64; ++p) {
+    a[p] = rng.uniform(0, 1);
+    b[p] = rng.uniform(0, 1);
+  }
+  EXPECT_LT(ssim(a, b), 0.7);
+  EXPECT_THROW(ssim(a, geo::GridMap(4, 4)), spectra::Error);
+}
+
+TEST(SsimTest, SensitiveToStructureNotJustMean) {
+  geo::GridMap a(2, 2, {0.0, 1.0, 0.0, 1.0});
+  geo::GridMap inverted(2, 2, {1.0, 0.0, 1.0, 0.0});
+  EXPECT_LT(ssim(a, inverted), 0.2);
+}
+
+TEST(AutocorrL1Test, IdenticalTensorsScoreZero) {
+  const geo::CityTensor a = diurnal_tensor(168, 4, 4);
+  EXPECT_NEAR(autocorr_l1(a, a, 48), 0.0, 1e-9);
+}
+
+TEST(AutocorrL1Test, PhaseShiftPenalized) {
+  const geo::CityTensor a = diurnal_tensor(168, 4, 4, 0.0);
+  const geo::CityTensor shifted = diurnal_tensor(168, 4, 4, 12.0);
+  // Autocorrelation is phase-invariant; shifting alone keeps AC equal...
+  EXPECT_NEAR(autocorr_l1(a, shifted, 48), 0.0, 1e-6);
+  // ...but white noise has a totally different correlation structure.
+  const geo::CityTensor noise = random_tensor(168, 4, 4, 3);
+  EXPECT_GT(autocorr_l1(a, noise, 48), 5.0);
+}
+
+TEST(TstrTest, TransfersBetweenSameProcess) {
+  const geo::CityTensor train = diurnal_tensor(336, 5, 5);
+  const geo::CityTensor test = diurnal_tensor(336, 5, 5);
+  EXPECT_GT(tstr_r2(train, test), 0.9);
+}
+
+TEST(TstrTest, NoiseTrainedModelFailsOnStructure) {
+  // White-noise synthetic data -> slope ~ 0 -> near-constant predictor.
+  const geo::CityTensor noise = random_tensor(336, 5, 5, 4);
+  const geo::CityTensor structured = diurnal_tensor(336, 5, 5);
+  EXPECT_LT(tstr_r2(noise, structured), 0.5);
+}
+
+TEST(TstrTest, RecoversArCoefficient) {
+  // Synthetic AR(1): slope should be recovered almost exactly.
+  geo::CityTensor ar(400, 2, 2);
+  Rng rng(11);
+  double state[4] = {0, 0, 0, 0};
+  for (long t = 0; t < 400; ++t) {
+    for (long p = 0; p < 4; ++p) {
+      state[p] = 0.8 * state[p] + 0.1 + 0.05 * rng.normal();
+      ar.at(t, p / 2, p % 2) = state[p];
+    }
+  }
+  const TstrModel model = fit_tstr(ar);
+  EXPECT_NEAR(model.slope, 0.8, 0.05);
+  EXPECT_GT(evaluate_tstr(model, ar), 0.5);
+}
+
+TEST(TstrTest, FitRejectsDegenerateInput) {
+  EXPECT_THROW(fit_tstr(geo::CityTensor(1, 2, 2)), spectra::Error);
+}
+
+TEST(TstrTest, ConstantSyntheticFallsBackToMean) {
+  geo::CityTensor constant(50, 3, 3);
+  for (double& v : constant.values()) v = 0.4;
+  const TstrModel model = fit_tstr(constant);
+  EXPECT_DOUBLE_EQ(model.slope, 0.0);
+  EXPECT_NEAR(model.intercept, 0.4, 1e-9);
+}
+
+TEST(FvdTest, EmbeddingCountAndSize) {
+  const geo::CityTensor a = diurnal_tensor(168, 6, 6);
+  FvdConfig config;
+  config.window = 48;
+  config.stride = 24;
+  const auto embeddings = fvd_embeddings(a, config);
+  EXPECT_EQ(embeddings.size(), static_cast<std::size_t>((168 - 48) / 24 + 1));
+  // d = 5 pooled channels + time augment = 6; depth 2 => 6 + 36.
+  EXPECT_EQ(embeddings[0].size(), 42u);
+}
+
+TEST(FvdTest, IdenticalProcessesScoreNearZero) {
+  const geo::CityTensor a = diurnal_tensor(336, 6, 6);
+  const double self_fvd = fvd(a, a);
+  EXPECT_NEAR(self_fvd, 0.0, 1e-6);
+}
+
+TEST(FvdTest, DifferentProcessesScoreHigher) {
+  const geo::CityTensor a = diurnal_tensor(336, 6, 6);
+  const geo::CityTensor noise = random_tensor(336, 6, 6, 5);
+  EXPECT_GT(fvd(a, noise), 10.0 * std::max(fvd(a, a), 1e-12));
+}
+
+TEST(FrechetTest, MeanSeparationDrivesDistance) {
+  Rng rng(6);
+  std::vector<std::vector<double>> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({rng.normal(), rng.normal()});
+    b.push_back({rng.normal() + 3.0, rng.normal()});
+  }
+  // FD ~ ||mu_a - mu_b||^2 = 9 for equal covariances.
+  EXPECT_NEAR(frechet_distance(a, b), 9.0, 1.5);
+}
+
+TEST(PsnrTest, KnownValue) {
+  geo::GridMap ref(1, 2, {1.0, 1.0});
+  geo::GridMap est(1, 2, {0.9, 1.1});
+  // MSE = 0.01, peak = 1 => PSNR = 20 dB.
+  EXPECT_NEAR(psnr(ref, est), 20.0, 1e-9);
+}
+
+TEST(PsnrTest, IdenticalMapsSaturate) {
+  geo::GridMap m(2, 2, {0.4, 0.3, 0.2, 0.1});
+  EXPECT_DOUBLE_EQ(psnr(m, m), 300.0);
+}
+
+TEST(JainTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(JainTest, SingleUserWorstCase) {
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainTest, AllZeroIsVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(PearsonTest, PerfectCorrelationSigns) {
+  EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+class BinCountTest : public testing::TestWithParam<long> {};
+
+TEST_P(BinCountTest, MarginalTvStableAcrossBinCounts) {
+  // Same-distribution tensors score low; the sampling-noise floor grows
+  // roughly with sqrt(bins / samples).
+  const geo::CityTensor a = random_tensor(40, 5, 5, 7);
+  const geo::CityTensor b = random_tensor(40, 5, 5, 8);
+  const double noise_floor = 0.5 * std::sqrt(static_cast<double>(GetParam()) / (40.0 * 25.0));
+  EXPECT_LT(marginal_tv(a, b, GetParam()), 0.05 + noise_floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinCountTest, testing::Values(16L, 32L, 64L, 128L));
+
+}  // namespace
+}  // namespace spectra::metrics

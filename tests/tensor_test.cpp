@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/error.h"
+
+namespace spectra::nn {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorTest, ZeroFilledConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (long i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ExplicitDataValidated) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(TensorTest, ScalarAndFull) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(2.5f)[0], 2.5f);
+  Tensor t = Tensor::full({3}, 7.0f);
+  for (long i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t[i], 7.0f);
+}
+
+TEST(TensorTest, MultiIndexAccess) {
+  Tensor t({2, 3, 4});
+  t.at({1, 2, 3}) = 5.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 5.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2, 3}), 5.0f);
+  EXPECT_THROW(t.at({2, 0, 0}), Error);
+  EXPECT_THROW(t.at({0, 0}), Error);
+}
+
+TEST(TensorTest, NegativeDimIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), Error);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(TensorTest, ArithmeticHelpers) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a.scale_(0.5f);
+  EXPECT_FLOAT_EQ(a[0], 5.5f);
+  EXPECT_FLOAT_EQ(a.sum(), 5.5f + 11.0f + 16.5f);
+  EXPECT_FLOAT_EQ(a.mean(), a.sum() / 3.0f);
+  EXPECT_FLOAT_EQ(a.min(), 5.5f);
+  EXPECT_FLOAT_EQ(a.max(), 16.5f);
+}
+
+TEST(TensorTest, AddShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.add_(b), Error);
+}
+
+TEST(TensorTest, NonfiniteDetection) {
+  Tensor t({2}, {1.0f, 2.0f});
+  EXPECT_FALSE(t.has_nonfinite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.has_nonfinite());
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.has_nonfinite());
+}
+
+TEST(TensorTest, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_THROW(shape_numel({-1, 2}), Error);
+}
+
+class TensorShapeParamTest : public testing::TestWithParam<Shape> {};
+
+TEST_P(TensorShapeParamTest, NumelMatchesProduct) {
+  const Shape shape = GetParam();
+  Tensor t(shape);
+  EXPECT_EQ(t.numel(), shape_numel(shape));
+  EXPECT_EQ(t.rank(), static_cast<int>(shape.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousShapes, TensorShapeParamTest,
+                         testing::Values(Shape{1}, Shape{5}, Shape{2, 3}, Shape{4, 1, 6},
+                                         Shape{2, 2, 2, 2}, Shape{1, 1, 1}, Shape{0},
+                                         Shape{3, 0, 2}));
+
+}  // namespace
+}  // namespace spectra::nn

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace spectra {
+namespace {
+
+TEST(ErrorTest, CheckThrowsWithLocation) {
+  try {
+    SG_CHECK(false, "boom");
+    FAIL() << "SG_CHECK did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) { EXPECT_NO_THROW(SG_CHECK(1 + 1 == 2, "never")); }
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, PoissonLargeLambdaNormalApprox) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(1);
+  // Splitting with the same tag from the same state is deterministic.
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // And a different tag diverges.
+  Rng child3 = parent.split(2);
+  EXPECT_NE(child1.next_u64(), child3.next_u64());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<std::size_t> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v);
+  std::set<std::size_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(CsvTest, HeaderArityEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), Error);
+  EXPECT_NO_THROW(w.add_row({"1", "2"}));
+}
+
+TEST(CsvTest, WriteAndEscape) {
+  CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"with,comma", "quo\"te"});
+  const std::string path = testing::TempDir() + "/sg_csv_test.csv";
+  ASSERT_TRUE(w.write(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quo\"\"te\"");
+}
+
+TEST(CsvTest, RenderTableAligns) {
+  CsvWriter w({"m", "val"});
+  w.add_row({"abc", "1.5"});
+  const std::string out = render_table(w);
+  EXPECT_NE(out.find("m"), std::string::npos);
+  EXPECT_NE(out.find("abc"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(EnvTest, FallbacksAndParsing) {
+  ::unsetenv("SG_TEST_ENV");
+  EXPECT_EQ(env_string("SG_TEST_ENV", "dft"), "dft");
+  EXPECT_EQ(env_long("SG_TEST_ENV", 5), 5);
+  ::setenv("SG_TEST_ENV", "17", 1);
+  EXPECT_EQ(env_long("SG_TEST_ENV", 5), 17);
+  EXPECT_DOUBLE_EQ(env_double("SG_TEST_ENV", 0.0), 17.0);
+  ::setenv("SG_TEST_ENV", "abc", 1);
+  EXPECT_EQ(env_long("SG_TEST_ENV", 5), 5);
+  ::unsetenv("SG_TEST_ENV");
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  const double first = w.seconds();
+  EXPECT_GE(first, 0.0);
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [](std::size_t i) {
+                                   if (i == 2) throw Error("task failed");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPoolTest, SubmitFutureCompletes) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  auto future = pool.submit([&ran] { ran = true; });
+  future.get();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace spectra
