@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_bs_sleeping"
+  "../bench/bench_fig10_bs_sleeping.pdb"
+  "CMakeFiles/bench_fig10_bs_sleeping.dir/bench_fig10_bs_sleeping.cpp.o"
+  "CMakeFiles/bench_fig10_bs_sleeping.dir/bench_fig10_bs_sleeping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bs_sleeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

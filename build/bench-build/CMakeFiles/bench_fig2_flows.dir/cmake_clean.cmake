@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_flows"
+  "../bench/bench_fig2_flows.pdb"
+  "CMakeFiles/bench_fig2_flows.dir/bench_fig2_flows.cpp.o"
+  "CMakeFiles/bench_fig2_flows.dir/bench_fig2_flows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

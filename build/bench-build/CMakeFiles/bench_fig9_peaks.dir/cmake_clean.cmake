@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_peaks"
+  "../bench/bench_fig9_peaks.pdb"
+  "CMakeFiles/bench_fig9_peaks.dir/bench_fig9_peaks.cpp.o"
+  "CMakeFiles/bench_fig9_peaks.dir/bench_fig9_peaks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

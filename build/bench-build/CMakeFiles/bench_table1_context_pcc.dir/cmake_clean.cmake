@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_context_pcc"
+  "../bench/bench_table1_context_pcc.pdb"
+  "CMakeFiles/bench_table1_context_pcc.dir/bench_table1_context_pcc.cpp.o"
+  "CMakeFiles/bench_table1_context_pcc.dir/bench_table1_context_pcc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_context_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_vran"
+  "../bench/bench_table7_vran.pdb"
+  "CMakeFiles/bench_table7_vran.dir/bench_table7_vran.cpp.o"
+  "CMakeFiles/bench_table7_vran.dir/bench_table7_vran.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_vran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

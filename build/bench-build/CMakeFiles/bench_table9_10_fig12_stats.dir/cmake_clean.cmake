@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_10_fig12_stats"
+  "../bench/bench_table9_10_fig12_stats.pdb"
+  "CMakeFiles/bench_table9_10_fig12_stats.dir/bench_table9_10_fig12_stats.cpp.o"
+  "CMakeFiles/bench_table9_10_fig12_stats.dir/bench_table9_10_fig12_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_fig12_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_mapping.dir/population_mapping.cpp.o"
+  "CMakeFiles/population_mapping.dir/population_mapping.cpp.o.d"
+  "population_mapping"
+  "population_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

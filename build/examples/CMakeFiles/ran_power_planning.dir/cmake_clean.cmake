@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_power_planning.dir/ran_power_planning.cpp.o"
+  "CMakeFiles/ran_power_planning.dir/ran_power_planning.cpp.o.d"
+  "ran_power_planning"
+  "ran_power_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_power_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgt_inspect.dir/sgt_inspect.cpp.o"
+  "CMakeFiles/sgt_inspect.dir/sgt_inspect.cpp.o.d"
+  "sgt_inspect"
+  "sgt_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgt_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_city_generation.dir/unseen_city_generation.cpp.o"
+  "CMakeFiles/unseen_city_generation.dir/unseen_city_generation.cpp.o.d"
+  "unseen_city_generation"
+  "unseen_city_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_city_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

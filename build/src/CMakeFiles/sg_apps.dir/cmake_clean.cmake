@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_apps.dir/apps/population.cpp.o"
+  "CMakeFiles/sg_apps.dir/apps/population.cpp.o.d"
+  "CMakeFiles/sg_apps.dir/apps/power.cpp.o"
+  "CMakeFiles/sg_apps.dir/apps/power.cpp.o.d"
+  "CMakeFiles/sg_apps.dir/apps/vran.cpp.o"
+  "CMakeFiles/sg_apps.dir/apps/vran.cpp.o.d"
+  "libsg_apps.a"
+  "libsg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/conv3d_lstm.cpp" "src/CMakeFiles/sg_baselines.dir/baselines/conv3d_lstm.cpp.o" "gcc" "src/CMakeFiles/sg_baselines.dir/baselines/conv3d_lstm.cpp.o.d"
+  "/root/repo/src/baselines/doppelganger.cpp" "src/CMakeFiles/sg_baselines.dir/baselines/doppelganger.cpp.o" "gcc" "src/CMakeFiles/sg_baselines.dir/baselines/doppelganger.cpp.o.d"
+  "/root/repo/src/baselines/fdas.cpp" "src/CMakeFiles/sg_baselines.dir/baselines/fdas.cpp.o" "gcc" "src/CMakeFiles/sg_baselines.dir/baselines/fdas.cpp.o.d"
+  "/root/repo/src/baselines/model_api.cpp" "src/CMakeFiles/sg_baselines.dir/baselines/model_api.cpp.o" "gcc" "src/CMakeFiles/sg_baselines.dir/baselines/model_api.cpp.o.d"
+  "/root/repo/src/baselines/pix2pix.cpp" "src/CMakeFiles/sg_baselines.dir/baselines/pix2pix.cpp.o" "gcc" "src/CMakeFiles/sg_baselines.dir/baselines/pix2pix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

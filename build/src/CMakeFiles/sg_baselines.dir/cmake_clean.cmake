@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_baselines.dir/baselines/conv3d_lstm.cpp.o"
+  "CMakeFiles/sg_baselines.dir/baselines/conv3d_lstm.cpp.o.d"
+  "CMakeFiles/sg_baselines.dir/baselines/doppelganger.cpp.o"
+  "CMakeFiles/sg_baselines.dir/baselines/doppelganger.cpp.o.d"
+  "CMakeFiles/sg_baselines.dir/baselines/fdas.cpp.o"
+  "CMakeFiles/sg_baselines.dir/baselines/fdas.cpp.o.d"
+  "CMakeFiles/sg_baselines.dir/baselines/model_api.cpp.o"
+  "CMakeFiles/sg_baselines.dir/baselines/model_api.cpp.o.d"
+  "CMakeFiles/sg_baselines.dir/baselines/pix2pix.cpp.o"
+  "CMakeFiles/sg_baselines.dir/baselines/pix2pix.cpp.o.d"
+  "libsg_baselines.a"
+  "libsg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

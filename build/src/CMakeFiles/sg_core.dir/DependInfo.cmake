@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/citygen.cpp" "src/CMakeFiles/sg_core.dir/core/citygen.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/citygen.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/sg_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/discriminators.cpp" "src/CMakeFiles/sg_core.dir/core/discriminators.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/discriminators.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/CMakeFiles/sg_core.dir/core/encoder.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/encoder.cpp.o.d"
+  "/root/repo/src/core/fourier_bridge.cpp" "src/CMakeFiles/sg_core.dir/core/fourier_bridge.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/fourier_bridge.cpp.o.d"
+  "/root/repo/src/core/losses.cpp" "src/CMakeFiles/sg_core.dir/core/losses.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/losses.cpp.o.d"
+  "/root/repo/src/core/spectrum_generator.cpp" "src/CMakeFiles/sg_core.dir/core/spectrum_generator.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/spectrum_generator.cpp.o.d"
+  "/root/repo/src/core/time_generator.cpp" "src/CMakeFiles/sg_core.dir/core/time_generator.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/time_generator.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/sg_core.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/CMakeFiles/sg_core.dir/core/variants.cpp.o" "gcc" "src/CMakeFiles/sg_core.dir/core/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_core.dir/core/citygen.cpp.o"
+  "CMakeFiles/sg_core.dir/core/citygen.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/config.cpp.o"
+  "CMakeFiles/sg_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/discriminators.cpp.o"
+  "CMakeFiles/sg_core.dir/core/discriminators.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/encoder.cpp.o"
+  "CMakeFiles/sg_core.dir/core/encoder.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/fourier_bridge.cpp.o"
+  "CMakeFiles/sg_core.dir/core/fourier_bridge.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/losses.cpp.o"
+  "CMakeFiles/sg_core.dir/core/losses.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/spectrum_generator.cpp.o"
+  "CMakeFiles/sg_core.dir/core/spectrum_generator.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/time_generator.cpp.o"
+  "CMakeFiles/sg_core.dir/core/time_generator.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/trainer.cpp.o"
+  "CMakeFiles/sg_core.dir/core/trainer.cpp.o.d"
+  "CMakeFiles/sg_core.dir/core/variants.cpp.o"
+  "CMakeFiles/sg_core.dir/core/variants.cpp.o.d"
+  "libsg_core.a"
+  "libsg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/city.cpp" "src/CMakeFiles/sg_data.dir/data/city.cpp.o" "gcc" "src/CMakeFiles/sg_data.dir/data/city.cpp.o.d"
+  "/root/repo/src/data/context.cpp" "src/CMakeFiles/sg_data.dir/data/context.cpp.o" "gcc" "src/CMakeFiles/sg_data.dir/data/context.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/sg_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/sg_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/sampler.cpp" "src/CMakeFiles/sg_data.dir/data/sampler.cpp.o" "gcc" "src/CMakeFiles/sg_data.dir/data/sampler.cpp.o.d"
+  "/root/repo/src/data/traffic_process.cpp" "src/CMakeFiles/sg_data.dir/data/traffic_process.cpp.o" "gcc" "src/CMakeFiles/sg_data.dir/data/traffic_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

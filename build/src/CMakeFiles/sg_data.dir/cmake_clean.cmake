@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_data.dir/data/city.cpp.o"
+  "CMakeFiles/sg_data.dir/data/city.cpp.o.d"
+  "CMakeFiles/sg_data.dir/data/context.cpp.o"
+  "CMakeFiles/sg_data.dir/data/context.cpp.o.d"
+  "CMakeFiles/sg_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/sg_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/sg_data.dir/data/sampler.cpp.o"
+  "CMakeFiles/sg_data.dir/data/sampler.cpp.o.d"
+  "CMakeFiles/sg_data.dir/data/traffic_process.cpp.o"
+  "CMakeFiles/sg_data.dir/data/traffic_process.cpp.o.d"
+  "libsg_data.a"
+  "libsg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

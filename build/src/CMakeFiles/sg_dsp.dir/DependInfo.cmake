@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/autocorr.cpp" "src/CMakeFiles/sg_dsp.dir/dsp/autocorr.cpp.o" "gcc" "src/CMakeFiles/sg_dsp.dir/dsp/autocorr.cpp.o.d"
+  "/root/repo/src/dsp/expansion.cpp" "src/CMakeFiles/sg_dsp.dir/dsp/expansion.cpp.o" "gcc" "src/CMakeFiles/sg_dsp.dir/dsp/expansion.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/sg_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/sg_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/signature.cpp" "src/CMakeFiles/sg_dsp.dir/dsp/signature.cpp.o" "gcc" "src/CMakeFiles/sg_dsp.dir/dsp/signature.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/sg_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/sg_dsp.dir/dsp/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_dsp.dir/dsp/autocorr.cpp.o"
+  "CMakeFiles/sg_dsp.dir/dsp/autocorr.cpp.o.d"
+  "CMakeFiles/sg_dsp.dir/dsp/expansion.cpp.o"
+  "CMakeFiles/sg_dsp.dir/dsp/expansion.cpp.o.d"
+  "CMakeFiles/sg_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/sg_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/sg_dsp.dir/dsp/signature.cpp.o"
+  "CMakeFiles/sg_dsp.dir/dsp/signature.cpp.o.d"
+  "CMakeFiles/sg_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/sg_dsp.dir/dsp/spectrum.cpp.o.d"
+  "libsg_dsp.a"
+  "libsg_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

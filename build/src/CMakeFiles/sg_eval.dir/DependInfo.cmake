@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/protocol.cpp" "src/CMakeFiles/sg_eval.dir/eval/protocol.cpp.o" "gcc" "src/CMakeFiles/sg_eval.dir/eval/protocol.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/sg_eval.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/sg_eval.dir/eval/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

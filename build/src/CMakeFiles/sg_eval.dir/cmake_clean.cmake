@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_eval.dir/eval/protocol.cpp.o"
+  "CMakeFiles/sg_eval.dir/eval/protocol.cpp.o.d"
+  "CMakeFiles/sg_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/sg_eval.dir/eval/report.cpp.o.d"
+  "libsg_eval.a"
+  "libsg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/city_tensor.cpp" "src/CMakeFiles/sg_geo.dir/geo/city_tensor.cpp.o" "gcc" "src/CMakeFiles/sg_geo.dir/geo/city_tensor.cpp.o.d"
+  "/root/repo/src/geo/grid.cpp" "src/CMakeFiles/sg_geo.dir/geo/grid.cpp.o" "gcc" "src/CMakeFiles/sg_geo.dir/geo/grid.cpp.o.d"
+  "/root/repo/src/geo/patching.cpp" "src/CMakeFiles/sg_geo.dir/geo/patching.cpp.o" "gcc" "src/CMakeFiles/sg_geo.dir/geo/patching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

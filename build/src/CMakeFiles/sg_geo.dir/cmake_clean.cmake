@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_geo.dir/geo/city_tensor.cpp.o"
+  "CMakeFiles/sg_geo.dir/geo/city_tensor.cpp.o.d"
+  "CMakeFiles/sg_geo.dir/geo/grid.cpp.o"
+  "CMakeFiles/sg_geo.dir/geo/grid.cpp.o.d"
+  "CMakeFiles/sg_geo.dir/geo/patching.cpp.o"
+  "CMakeFiles/sg_geo.dir/geo/patching.cpp.o.d"
+  "libsg_geo.a"
+  "libsg_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

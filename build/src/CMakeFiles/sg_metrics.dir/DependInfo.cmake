@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/autocorr_l1.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/autocorr_l1.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/autocorr_l1.cpp.o.d"
+  "/root/repo/src/metrics/correlation.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/correlation.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/correlation.cpp.o.d"
+  "/root/repo/src/metrics/fairness.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/fairness.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/fairness.cpp.o.d"
+  "/root/repo/src/metrics/fvd.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/fvd.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/fvd.cpp.o.d"
+  "/root/repo/src/metrics/linalg.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/linalg.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/linalg.cpp.o.d"
+  "/root/repo/src/metrics/marginal.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/marginal.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/marginal.cpp.o.d"
+  "/root/repo/src/metrics/psnr.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/psnr.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/psnr.cpp.o.d"
+  "/root/repo/src/metrics/ssim.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/ssim.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/ssim.cpp.o.d"
+  "/root/repo/src/metrics/tstr.cpp" "src/CMakeFiles/sg_metrics.dir/metrics/tstr.cpp.o" "gcc" "src/CMakeFiles/sg_metrics.dir/metrics/tstr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

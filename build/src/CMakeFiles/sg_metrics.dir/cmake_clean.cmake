@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_metrics.dir/metrics/autocorr_l1.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/autocorr_l1.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/correlation.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/correlation.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/fairness.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/fairness.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/fvd.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/fvd.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/linalg.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/linalg.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/marginal.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/marginal.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/psnr.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/psnr.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/ssim.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/ssim.cpp.o.d"
+  "CMakeFiles/sg_metrics.dir/metrics/tstr.cpp.o"
+  "CMakeFiles/sg_metrics.dir/metrics/tstr.cpp.o.d"
+  "libsg_metrics.a"
+  "libsg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

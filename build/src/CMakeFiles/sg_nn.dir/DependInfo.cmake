@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cpp" "src/CMakeFiles/sg_nn.dir/nn/autograd.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/autograd.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/sg_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/sg_nn.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/sg_nn.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/sg_nn.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/CMakeFiles/sg_nn.dir/nn/ops.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/sg_nn.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/sg_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/sg_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/sg_nn.dir/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_nn.dir/nn/autograd.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/autograd.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/init.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/init.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/lstm.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/lstm.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/ops.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/ops.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/optim.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/optim.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/sg_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/sg_nn.dir/nn/tensor.cpp.o.d"
+  "libsg_nn.a"
+  "libsg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_util.dir/util/csv.cpp.o"
+  "CMakeFiles/sg_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/env.cpp.o"
+  "CMakeFiles/sg_util.dir/util/env.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/error.cpp.o"
+  "CMakeFiles/sg_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/log.cpp.o"
+  "CMakeFiles/sg_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/rng.cpp.o"
+  "CMakeFiles/sg_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/sg_util.dir/util/stopwatch.cpp.o.d"
+  "CMakeFiles/sg_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/sg_util.dir/util/thread_pool.cpp.o.d"
+  "libsg_util.a"
+  "libsg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
