@@ -20,7 +20,10 @@
 #include "data/dataset.h"
 #include "eval/protocol.h"
 #include "eval/report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
+#include "util/log.h"
 
 namespace spectra::bench {
 
@@ -88,8 +91,22 @@ void run_once(::benchmark::State& state, Fn&& fn) {
 
 }  // namespace spectra::bench
 
+namespace spectra::bench {
+
+// Teardown hook for SG_BENCH_MAIN: flush the trace (if SPECTRA_TRACE is
+// set), write the metrics JSON (if SPECTRA_METRICS is set), and log the
+// text snapshot so a debug run shows where the time went.
+inline void dump_observability() {
+  ::spectra::obs::trace_flush();
+  ::spectra::obs::dump_metrics();
+  SG_LOG_DEBUG << "\n" << ::spectra::obs::metrics_snapshot();
+}
+
+}  // namespace spectra::bench
+
 // BENCHMARK_MAIN-style entry with a post-run report hook: REPORT() runs
-// after the timed benchmarks and prints the paper-style tables.
+// after the timed benchmarks and prints the paper-style tables; the
+// observability dump runs last.
 #define SG_BENCH_MAIN(REPORT)                                   \
   int main(int argc, char** argv) {                             \
     ::benchmark::Initialize(&argc, argv);                       \
@@ -98,6 +115,7 @@ void run_once(::benchmark::State& state, Fn&& fn) {
     }                                                           \
     ::benchmark::RunSpecifiedBenchmarks();                      \
     REPORT();                                                   \
+    ::spectra::bench::dump_observability();                     \
     ::benchmark::Shutdown();                                    \
     return 0;                                                   \
   }

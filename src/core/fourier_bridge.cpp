@@ -1,6 +1,8 @@
 #include "core/fourier_bridge.h"
 
 #include "dsp/fft.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace spectra::core {
@@ -9,6 +11,12 @@ using nn::Tensor;
 using nn::Var;
 
 Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
+  SG_TRACE_SPAN("core/irfft_bridge");
+  static obs::Counter& calls = obs::Registry::instance().counter("fourier_bridge.calls");
+  static obs::Histogram& seconds =
+      obs::Registry::instance().histogram("fourier_bridge.seconds");
+  calls.inc();
+  obs::ScopedTimer timer(seconds);
   const Tensor& spec = spectrum.value();
   SG_CHECK(spec.rank() == 3, "irfft_bridge expects [B, 2*Fgen, P]");
   SG_CHECK(base_steps >= 2 && expand_k >= 1, "invalid irfft_bridge geometry");
@@ -50,6 +58,7 @@ Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
       std::move(out), {spectrum},
       [B, two_f, f_gen, P, t_out, expand_k, k_scale](const Tensor& g, std::vector<Var>& parents) {
         if (!parents[0].requires_grad()) return;
+        SG_TRACE_SPAN("core/irfft_bridge_backward");
         Tensor& gs = parents[0].grad_storage();
         std::vector<double> series(static_cast<std::size_t>(t_out));
         for (long b = 0; b < B; ++b) {

@@ -4,6 +4,9 @@
 #include "core/losses.h"
 #include "nn/init.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/train_log.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -86,30 +89,47 @@ SpectraGan::GeneratorOutput SpectraGan::generator_forward(const Var& context,
 TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
   SG_CHECK(sampler.train_steps() == config_.train_steps,
            "sampler window length must equal config.train_steps");
+  SG_TRACE_SPAN("train/run");
   Stopwatch watch;
+
+  obs::TrainLogSink train_log;  // $SPECTRA_TRAIN_LOG; disabled when unset
+  static obs::Counter& iter_counter = obs::Registry::instance().counter("train.iterations");
+  static obs::Histogram& iter_hist =
+      obs::Registry::instance().histogram("train.iteration_seconds");
 
   nn::Adam opt_g(generator_parameters(), config_.lr_generator, 0.5f, 0.999f);
   nn::Adam opt_d(discriminator_parameters(), config_.lr_discriminator, 0.5f, 0.999f);
 
   TrainStats stats;
   for (long it = 0; it < config_.iterations; ++it) {
-    const data::PatchBatch batch = sampler.sample(config_.batch, rng);
-    Var context = Var::constant(context_tensor(batch));
-    Var real_traffic = Var::constant(traffic_tensor(batch));
-    Var noise = Var::constant(sample_noise(batch.batch, rng));
+    Stopwatch iter_watch;
+    double grad_norm_d = 0.0;
+    double grad_norm_g = 0.0;
 
     // Masked-FFT target y^q for the spectrum branch (Eq. 1's L1 target).
-    Var masked_target;
-    if (spectrum_gen_) {
-      masked_target = Var::constant(masked_spectrum_target(
-          traffic_tensor(batch), config_.spectrum_bins, config_.mask_quantile));
+    Var context, real_traffic, noise, masked_target;
+    {
+      SG_TRACE_SPAN("train/sample");
+      const data::PatchBatch batch = sampler.sample(config_.batch, rng);
+      context = Var::constant(context_tensor(batch));
+      real_traffic = Var::constant(traffic_tensor(batch));
+      noise = Var::constant(sample_noise(batch.batch, rng));
+      if (spectrum_gen_) {
+        masked_target = Var::constant(masked_spectrum_target(
+            traffic_tensor(batch), config_.spectrum_bins, config_.mask_quantile));
+      }
     }
 
     // Single generator forward reused by both optimization steps.
-    GeneratorOutput fake = generator_forward(context, noise, config_.train_steps, /*expand_k=*/1);
+    GeneratorOutput fake;
+    {
+      SG_TRACE_SPAN("train/g_forward");
+      fake = generator_forward(context, noise, config_.train_steps, /*expand_k=*/1);
+    }
 
     // --- discriminator step (fakes detached via value copies) ---
     {
+      SG_TRACE_SPAN("train/d_step");
       Var hidden_r = encoder_r_->forward(context);
       Var d_loss;
       auto accumulate = [&d_loss](Var term) {
@@ -125,14 +145,18 @@ TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
           disc_t_->forward(Var::constant(fake.traffic.value()), hidden_r), 0.0f));
 
       opt_d.zero_grad();
-      d_loss.backward();
-      opt_d.clip_grad_norm(config_.grad_clip);
+      {
+        SG_TRACE_SPAN("train/backward");
+        d_loss.backward();
+      }
+      grad_norm_d = opt_d.clip_grad_norm(config_.grad_clip);
       opt_d.step();
       stats.final_d_loss = d_loss.value()[0];
     }
 
     // --- generator step ---
     {
+      SG_TRACE_SPAN("train/g_step");
       Var hidden_r = encoder_r_->forward(context);
       Var g_adv;
       auto accumulate = [&g_adv](Var term) {
@@ -151,14 +175,30 @@ TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
       opt_g.zero_grad();
       // The backward pass also deposits gradients into discriminator
       // parameters; they are discarded at the next opt_d.zero_grad().
-      g_loss.backward();
-      opt_g.clip_grad_norm(config_.grad_clip);
+      {
+        SG_TRACE_SPAN("train/backward");
+        g_loss.backward();
+      }
+      grad_norm_g = opt_g.clip_grad_norm(config_.grad_clip);
       opt_g.step();
       stats.final_g_adv_loss = g_adv.value()[0];
       stats.final_l1_loss = l1.value()[0];
     }
 
     ++stats.iterations;
+    iter_counter.inc();
+    const double iter_seconds = iter_watch.seconds();
+    iter_hist.observe(iter_seconds);
+    stats.d_loss_history.push_back(stats.final_d_loss);
+    stats.g_adv_loss_history.push_back(stats.final_g_adv_loss);
+    stats.l1_loss_history.push_back(stats.final_l1_loss);
+    stats.grad_norm_d_history.push_back(grad_norm_d);
+    stats.grad_norm_g_history.push_back(grad_norm_g);
+    stats.iter_seconds_history.push_back(iter_seconds);
+    if (train_log.enabled()) {
+      train_log.write({it, stats.final_d_loss, stats.final_g_adv_loss, stats.final_l1_loss,
+                       grad_norm_d, grad_norm_g, iter_seconds});
+    }
     if ((it + 1) % 50 == 0) {
       SG_LOG_INFO << "iter " << (it + 1) << "/" << config_.iterations
                   << " d=" << stats.final_d_loss << " g_adv=" << stats.final_g_adv_loss

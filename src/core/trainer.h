@@ -26,6 +26,15 @@ struct TrainStats {
   double final_g_adv_loss = 0.0;
   double final_l1_loss = 0.0;
   double seconds = 0.0;
+
+  // Per-iteration running histories (one entry per iteration run); the
+  // final_* fields above are the last entries, kept for convenience.
+  std::vector<double> d_loss_history;
+  std::vector<double> g_adv_loss_history;
+  std::vector<double> l1_loss_history;
+  std::vector<double> grad_norm_d_history;  // pre-clip discriminator grad norm
+  std::vector<double> grad_norm_g_history;  // pre-clip generator grad norm
+  std::vector<double> iter_seconds_history;
 };
 
 class SpectraGan {

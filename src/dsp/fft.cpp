@@ -3,6 +3,8 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace spectra::dsp {
@@ -107,10 +109,18 @@ void bluestein(std::vector<Complex>& a, int sign) {
 void fft_inplace(std::vector<Complex>& a, bool inverse) {
   const long n = static_cast<long>(a.size());
   if (n <= 1) return;
+  // Instrument every transform: call counters plus a seconds histogram.
+  // All three instruments are relaxed atomics — safe from pool workers.
+  static obs::Counter& calls = obs::Registry::instance().counter("fft.calls");
+  static obs::Counter& bluestein_calls = obs::Registry::instance().counter("fft.bluestein_calls");
+  static obs::Histogram& seconds = obs::Registry::instance().histogram("fft.seconds");
+  calls.inc();
+  obs::ScopedTimer timer(seconds);
   const int sign = inverse ? +1 : -1;
   if (is_power_of_two(n)) {
     radix2(a, sign);
   } else {
+    bluestein_calls.inc();
     bluestein(a, sign);
   }
   if (inverse) {
@@ -130,6 +140,7 @@ std::vector<Complex> ifft(std::vector<Complex> a) {
 }
 
 std::vector<Complex> rfft(const std::vector<double>& x) {
+  SG_TRACE_SPAN("fft/rfft");
   const long n = static_cast<long>(x.size());
   SG_CHECK(n >= 1, "rfft of empty signal");
   std::vector<Complex> a(x.begin(), x.end());
@@ -139,6 +150,7 @@ std::vector<Complex> rfft(const std::vector<double>& x) {
 }
 
 std::vector<double> irfft(const std::vector<Complex>& spectrum, long n) {
+  SG_TRACE_SPAN("fft/irfft");
   SG_CHECK(n >= 1, "irfft target length must be positive");
   SG_CHECK(static_cast<long>(spectrum.size()) == n / 2 + 1,
            "irfft: spectrum size must be n/2+1 (got " + std::to_string(spectrum.size()) +

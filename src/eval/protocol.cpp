@@ -10,6 +10,8 @@
 #include "metrics/marginal.h"
 #include "metrics/ssim.h"
 #include "metrics/tstr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -120,6 +122,12 @@ geo::CityTensor generate_for_fold(const std::string& model_name,
                                   const core::SpectraGanConfig& base_config,
                                   const data::CountryDataset& dataset, const data::Fold& fold,
                                   const EvalConfig& config) {
+  static obs::Counter& cache_hits = obs::Registry::instance().counter("eval.cache.hits");
+  static obs::Counter& cache_misses = obs::Registry::instance().counter("eval.cache.misses");
+  static obs::Counter& cache_writes = obs::Registry::instance().counter("eval.cache.writes");
+  static obs::Counter& cache_write_bytes =
+      obs::Registry::instance().counter("eval.cache.write_bytes");
+
   const data::City& target = dataset.cities.at(fold.test_index);
 
   std::string path;
@@ -127,9 +135,12 @@ geo::CityTensor generate_for_fold(const std::string& model_name,
     std::filesystem::create_directories(config.cache_dir);
     path = cache_path(config.cache_dir, model_name, dataset, target, config, base_config);
     if (std::optional<geo::CityTensor> cached = load_city_tensor(path)) {
+      cache_hits.inc();
       SG_LOG_INFO << "cache hit: " << path;
       return std::move(*cached);
     }
+    cache_misses.inc();
+    SG_LOG_INFO << "cache miss: " << path;
   }
 
   Rng rng(config.seed ^ (fold.test_index * 0x9e3779b9ULL) ^
@@ -137,10 +148,24 @@ geo::CityTensor generate_for_fold(const std::string& model_name,
   std::unique_ptr<baselines::TrafficGenerator> model =
       baselines::make_model(model_name, base_config);
   SG_LOG_INFO << "training " << model_name << " for held-out " << target.name;
-  model->fit(dataset, fold.train_indices, config.train_steps, rng);
-  geo::CityTensor synthetic = model->generate(target, config.generate_steps, rng);
+  {
+    SG_TRACE_SPAN("eval/fold_train");
+    model->fit(dataset, fold.train_indices, config.train_steps, rng);
+  }
+  geo::CityTensor synthetic;
+  {
+    SG_TRACE_SPAN("eval/fold_generate");
+    synthetic = model->generate(target, config.generate_steps, rng);
+  }
 
-  if (!path.empty()) save_city_tensor(path, synthetic);
+  if (!path.empty()) {
+    save_city_tensor(path, synthetic);
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    cache_writes.inc();
+    if (!ec) cache_write_bytes.inc(static_cast<std::uint64_t>(bytes));
+    SG_LOG_INFO << "cache write: " << path << " (" << (ec ? 0 : bytes) << " bytes)";
+  }
   return synthetic;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace spectra::geo {
@@ -92,6 +94,8 @@ OverlapAccumulator::OverlapAccumulator(long steps, long height, long width,
 
 void OverlapAccumulator::add_patch(const PatchWindow& window, const PatchSpec& spec,
                                    const std::vector<float>& patch) {
+  static obs::Counter& patches = obs::Registry::instance().counter("geo.patches_accumulated");
+  patches.inc();
   const long T = sum_.steps();
   const long H = sum_.height();
   const long W = sum_.width();
@@ -116,6 +120,9 @@ void OverlapAccumulator::add_patch(const PatchWindow& window, const PatchSpec& s
 }
 
 CityTensor OverlapAccumulator::finalize() const {
+  SG_TRACE_SPAN("geo/assemble_city");
+  static obs::Histogram& seconds = obs::Registry::instance().histogram("geo.assemble_seconds");
+  obs::ScopedTimer timer(seconds);
   CityTensor out = sum_;
   const long H = out.height();
   const long W = out.width();

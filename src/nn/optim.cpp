@@ -16,7 +16,7 @@ void Optimizer::zero_grad() {
   for (Var& p : params_) p.zero_grad();
 }
 
-void Optimizer::clip_grad_norm(float max_norm) {
+double Optimizer::clip_grad_norm(float max_norm) {
   SG_CHECK(max_norm > 0.0f, "clip_grad_norm requires max_norm > 0");
   double total_sq = 0.0;
   for (Var& p : params_) {
@@ -25,9 +25,10 @@ void Optimizer::clip_grad_norm(float max_norm) {
     for (long i = 0; i < n; ++i) total_sq += static_cast<double>(g[i]) * g[i];
   }
   const double norm = std::sqrt(total_sq);
-  if (norm <= max_norm) return;
+  if (norm <= max_norm) return norm;
   const float scale = static_cast<float>(max_norm / (norm + 1e-12));
   for (Var& p : params_) p.grad_storage().scale_(scale);
+  return norm;
 }
 
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum)

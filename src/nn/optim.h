@@ -22,7 +22,8 @@ class Optimizer {
   virtual void step() = 0;
 
   // Clip all gradients to the given L2 norm (no-op if already within).
-  void clip_grad_norm(float max_norm);
+  // Returns the pre-clip global norm (training telemetry reads it).
+  double clip_grad_norm(float max_norm);
 
  protected:
   std::vector<Var> params_;

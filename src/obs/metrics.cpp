@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace spectra::obs {
+
+namespace {
+
+// CAS loop instead of atomic<double>::fetch_add: the latter is C++20 but
+// still lowers to a CAS loop on x86 anyway, and this spelling compiles on
+// every toolchain we target.
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      bounds_.clear();
+      buckets_ = std::vector<std::atomic<std::uint64_t>>(1);
+      break;
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t index) const {
+  return index < buckets_.size() ? buckets_[index].load(std::memory_order_relaxed) : 0;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_time_buckets() {
+  // 1us, 3.16us, 10us, ... 10s (half-decade steps).
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 3.162277660168379);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    Registry* r = new Registry();
+    if (std::getenv("SPECTRA_METRICS") != nullptr) {
+      std::atexit([] { dump_metrics(); });
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : counters_) {
+    if (entry.first == name) return *entry.second;
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : gauges_) {
+    if (entry.first == name) return *entry.second;
+  }
+  gauges_.emplace_back(name, std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : histograms_) {
+    if (entry.first == name) return *entry.second;
+  }
+  if (upper_bounds.empty()) upper_bounds = default_time_buckets();
+  histograms_.emplace_back(name, std::make_unique<Histogram>(std::move(upper_bounds)));
+  return *histograms_.back().second;
+}
+
+std::string Registry::text_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "# metrics snapshot\n";
+  for (const auto& [name, counter] : counters_) {
+    out << "counter " << name << " = " << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge " << name << " = " << format_double(gauge->value()) << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "histogram " << name << " count=" << hist->count()
+        << " sum=" << format_double(hist->sum());
+    const double count = static_cast<double>(hist->count());
+    if (count > 0) out << " mean=" << format_double(hist->sum() / count);
+    out << '\n';
+    for (std::size_t i = 0; i <= hist->bounds().size(); ++i) {
+      const std::uint64_t n = hist->bucket_count(i);
+      if (n == 0) continue;
+      out << "  le ";
+      if (i < hist->bounds().size()) {
+        out << format_double(hist->bounds()[i]);
+      } else {
+        out << "+inf";
+      }
+      out << ": " << n << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::json_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << json_escape(counters_[i].first) << "\":" << counters_[i].second->value();
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << json_escape(gauges_[i].first)
+        << "\":" << format_double(gauges_[i].second->value());
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i != 0) out << ',';
+    const Histogram& hist = *histograms_[i].second;
+    out << '"' << json_escape(histograms_[i].first) << "\":{\"count\":" << hist.count()
+        << ",\"sum\":" << format_double(hist.sum()) << ",\"bounds\":[";
+    for (std::size_t b = 0; b < hist.bounds().size(); ++b) {
+      if (b != 0) out << ',';
+      out << format_double(hist.bounds()[b]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t b = 0; b <= hist.bounds().size(); ++b) {
+      if (b != 0) out << ',';
+      out << hist.bucket_count(b);
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+std::string metrics_snapshot() { return Registry::instance().text_snapshot(); }
+
+std::string metrics_snapshot_json() { return Registry::instance().json_snapshot(); }
+
+void dump_metrics(const std::string& path) {
+  std::string target = path;
+  if (target.empty()) {
+    const char* env = std::getenv("SPECTRA_METRICS");
+    if (env != nullptr) target = env;
+  }
+  if (target.empty()) return;
+  std::ofstream out(target);
+  if (!out) return;
+  out << Registry::instance().json_snapshot() << '\n';
+}
+
+}  // namespace spectra::obs

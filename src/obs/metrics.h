@@ -1,0 +1,121 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with lock-cheap hot paths (a relaxed atomic op per update;
+// the registry mutex is only taken at instrument lookup, which callers
+// amortize behind function-local statics).
+//
+// Snapshots are exported as aligned text or JSON. When SPECTRA_METRICS
+// names a file, the JSON snapshot is also written there at process exit.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spectra::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram over fixed, strictly increasing upper bounds. Values above
+// the last bound land in an implicit +inf overflow bucket, so there are
+// bounds().size() + 1 buckets in total.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t index) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Exponential seconds buckets, 1us .. 10s — the default for timing
+// histograms (FFT calls, iteration phases).
+std::vector<double> default_time_buckets();
+
+class Registry {
+ public:
+  // The process-wide registry (leaked so instruments stay valid for
+  // atexit dumps and for threads still running during shutdown).
+  static Registry& instance();
+
+  // Lookup-or-create by name. Returned references are stable for the
+  // process lifetime; cache them in a function-local static on hot paths.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
+
+  std::string text_snapshot() const;
+  std::string json_snapshot() const;
+
+  // Zero every instrument's value (names stay registered). Tests only.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  // Ordered by registration; unique_ptr keeps addresses stable.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+// Snapshots of the process registry.
+std::string metrics_snapshot();       // aligned text
+std::string metrics_snapshot_json();  // JSON object
+
+// Write the JSON snapshot to `path`, or to $SPECTRA_METRICS when `path`
+// is empty. No-op when neither names a file.
+void dump_metrics(const std::string& path = "");
+
+// RAII seconds timer: records the scope's wall time into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_.observe(elapsed.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spectra::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace spectra::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+};
+
+// Per-thread buffer. Appends come only from the owning thread; the
+// buffer mutex exists so trace_json()/trace_reset() can read from other
+// threads. Uncontended in the hot path.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;                     // guards `buffers`
+  std::vector<ThreadBuffer*> buffers;   // leaked; one per thread ever seen
+  std::uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point origin = std::chrono::steady_clock::now();
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: threads may outlive main
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();  // leaked: events must survive thread exit
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+// Enable tracing at startup when SPECTRA_TRACE names an output file.
+const bool g_trace_env_init = [] {
+  if (std::getenv("SPECTRA_TRACE") != nullptr) {
+    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+    std::atexit([] { trace_flush(); });
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t trace_now_us() {
+  const auto elapsed = std::chrono::steady_clock::now() - state().origin;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us) {
+  ThreadBuffer& buffer = thread_buffer();
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back({name, start_us, dur_us});
+}
+
+}  // namespace detail
+
+void trace_set_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::string trace_json() {
+  TraceState& s = state();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard registry_lock(s.mutex);
+  for (ThreadBuffer* buffer : s.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    for (const TraceEvent& event : buffer->events) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"spectra\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buffer->tid
+          << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+void trace_flush(const std::string& path) {
+  std::string target = path;
+  if (target.empty()) {
+    const char* env = std::getenv("SPECTRA_TRACE");
+    if (env != nullptr) target = env;
+  }
+  if (target.empty()) return;
+  std::ofstream out(target);
+  if (!out) return;
+  out << trace_json() << '\n';
+}
+
+void trace_reset() {
+  TraceState& s = state();
+  std::lock_guard registry_lock(s.mutex);
+  for (ThreadBuffer* buffer : s.buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace spectra::obs

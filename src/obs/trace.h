@@ -1,0 +1,80 @@
+// RAII trace spans exported as Chrome trace-event JSON ("X" complete
+// events), viewable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is off by default. Setting SPECTRA_TRACE=<file> enables it at
+// startup and registers an atexit flush to that file; tests toggle it
+// with trace_set_enabled(). When disabled, SG_TRACE_SPAN costs one
+// relaxed atomic load and a branch.
+//
+//   void step() {
+//     SG_TRACE_SPAN("train/d_step");
+//     ...
+//   }
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spectra::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+// Microseconds since the process trace origin (monotonic clock).
+std::uint64_t trace_now_us();
+
+// Append one complete span to the calling thread's buffer.
+void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us);
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Runtime toggle (SPECTRA_TRACE flips it on during static init).
+void trace_set_enabled(bool enabled);
+
+// Serialize every recorded span (all threads) as a Chrome trace JSON
+// document. Safe to call while other threads are still recording.
+std::string trace_json();
+
+// Write trace_json() to `path`, or to $SPECTRA_TRACE when `path` is
+// empty. No-op when neither names a file.
+void trace_flush(const std::string& path = "");
+
+// Discard all recorded spans. Tests only.
+void trace_reset();
+
+// Scoped span: captures the start time at construction and records a
+// complete event at destruction. Spans nest naturally per thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_us_ = detail::trace_now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::trace_record(name_, start_us_, detail::trace_now_us() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr while tracing is disabled
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace spectra::obs
+
+#define SG_TRACE_CONCAT_INNER(a, b) a##b
+#define SG_TRACE_CONCAT(a, b) SG_TRACE_CONCAT_INNER(a, b)
+
+// `name` must be a string literal (or otherwise outlive the span).
+#define SG_TRACE_SPAN(name) \
+  ::spectra::obs::TraceSpan SG_TRACE_CONCAT(sg_trace_span_, __COUNTER__)(name)

@@ -1,26 +1,28 @@
 #include "util/log.h"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace spectra {
 
 namespace {
-LogLevel parse_env_level() {
-  const char* raw = std::getenv("SPECTRA_LOG");
-  if (raw == nullptr) return LogLevel::kWarn;
-  const std::string value(raw);
-  if (value == "debug") return LogLevel::kDebug;
-  if (value == "info") return LogLevel::kInfo;
-  if (value == "warn") return LogLevel::kWarn;
-  if (value == "error") return LogLevel::kError;
-  if (value == "off") return LogLevel::kOff;
-  return LogLevel::kWarn;
+
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
 }
 
-LogLevel& level_storage() {
-  static LogLevel level = parse_env_level();
-  return level;
+// Monotonic seconds since the logger was first touched.
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  const std::chrono::duration<double> elapsed = Clock::now() - origin;
+  return elapsed.count();
 }
 
 const char* level_name(LogLevel level) {
@@ -38,6 +40,45 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Build one complete line so the guarded stream insertion below is a
+// single write — concurrent loggers can never interleave mid-line.
+std::string format_line(LogLevel level, const std::string& message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f] [%s] ", monotonic_seconds(), level_name(level));
+  std::string line = prefix;
+  line += message;
+  line += '\n';
+  return line;
+}
+
+LogLevel parse_env_level() {
+  const char* raw = std::getenv("SPECTRA_LOG");
+  if (raw == nullptr) return LogLevel::kWarn;
+  std::string value(raw);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
+  // Warn once, directly (we are inside the level's own initialization,
+  // so routing through log_message would recurse).
+  std::cerr << format_line(LogLevel::kWarn, "unrecognized SPECTRA_LOG level \"" +
+                                                std::string(raw) + "\"; defaulting to \"warn\"");
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_storage() {
+  static LogLevel level = parse_env_level();
+  return level;
+}
+
+// Parse SPECTRA_LOG eagerly so an unrecognized value warns at startup
+// even in runs that never log.
+const bool g_level_env_init = (level_storage(), true);
+
 }  // namespace
 
 LogLevel log_level() { return level_storage(); }
@@ -46,7 +87,9 @@ void set_log_level(LogLevel level) { level_storage() = level; }
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  const std::string line = format_line(level, message);
+  std::lock_guard lock(log_mutex());
+  std::cerr << line;
 }
 
 }  // namespace spectra

@@ -1,5 +1,7 @@
-// Minimal leveled logger. Kept deliberately simple: single-threaded
-// writers hold no state, and the level can be raised via SPECTRA_LOG.
+// Minimal leveled logger. Thread-safe: each message is formatted into a
+// single line ("[  12.345] [LEVEL] message", monotonic seconds since the
+// logger was first touched) and written under a mutex, so concurrent
+// writers never interleave mid-line. The level comes from SPECTRA_LOG.
 
 #pragma once
 
@@ -11,7 +13,8 @@ namespace spectra {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Global minimum level; initialized from the SPECTRA_LOG env var
-// ("debug" | "info" | "warn" | "error" | "off", default "warn").
+// ("debug" | "info" | "warn" | "error" | "off", case-insensitive,
+// default "warn"; an unrecognized value warns once and falls back).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace spectra {
+
+namespace {
+obs::Counter& queued_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("pool.tasks_queued");
+  return c;
+}
+obs::Counter& executed_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("pool.tasks_executed");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
+  return g;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -29,6 +46,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(packaged));
+    queued_counter().inc();
+    queue_depth_gauge().set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return future;
@@ -60,8 +79,10 @@ void ThreadPool::worker_loop() {
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_gauge().set(static_cast<double>(tasks_.size()));
     }
     task();
+    executed_counter().inc();
   }
 }
 

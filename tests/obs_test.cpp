@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/train_log.h"
+#include "util/thread_pool.h"
+
+namespace spectra::obs {
+namespace {
+
+// Minimal structural JSON check: quotes pair up and brackets/braces
+// balance outside strings. Catches truncated or mis-nested output.
+bool json_well_formed(const std::string& json) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter counter;
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&counter](std::size_t) {
+    for (int i = 0; i < 1000; ++i) counter.inc();
+  });
+  EXPECT_EQ(counter.value(), 64000u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.add(-6.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram hist({1.0, 2.0, 4.0});
+  hist.observe(0.5);   // bucket 0 (<= 1)
+  hist.observe(1.0);   // bucket 0 (bounds are inclusive upper limits)
+  hist.observe(1.5);   // bucket 1
+  hist.observe(4.0);   // bucket 2
+  hist.observe(100.0); // overflow bucket
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 107.0);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);   // +inf overflow
+  EXPECT_EQ(hist.bucket_count(99), 0u);  // out of range reads as zero
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+}
+
+TEST(HistogramTest, DefaultTimeBucketsAreIncreasing) {
+  const std::vector<double> bounds = default_time_buckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  Registry& registry = Registry::instance();
+  Counter& a = registry.counter("obs_test.same_counter");
+  Counter& b = registry.counter("obs_test.same_counter");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("obs_test.same_gauge");
+  Gauge& g2 = registry.gauge("obs_test.same_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.histogram("obs_test.same_hist", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("obs_test.same_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, SnapshotsContainInstruments) {
+  Registry& registry = Registry::instance();
+  registry.counter("obs_test.snap_counter").inc(7);
+  registry.gauge("obs_test.snap_gauge").set(3.5);
+  registry.histogram("obs_test.snap_hist", {0.5}).observe(0.25);
+
+  const std::string text = metrics_snapshot();
+  EXPECT_NE(text.find("obs_test.snap_counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.snap_gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.snap_hist"), std::string::npos);
+
+  const std::string json = metrics_snapshot_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"obs_test.snap_counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RegistryTest, DumpMetricsWritesJsonFile) {
+  Registry::instance().counter("obs_test.dump_counter").inc();
+  const std::string path = testing::TempDir() + "/sg_metrics_dump.json";
+  dump_metrics(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buffer.str())) << buffer.str();
+  EXPECT_NE(buffer.str().find("obs_test.dump_counter"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_reset();
+    trace_set_enabled(true);
+  }
+  void TearDown() override {
+    trace_set_enabled(false);
+    trace_reset();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansProduceWellFormedTraceJson) {
+  {
+    SG_TRACE_SPAN("outer");
+    {
+      SG_TRACE_SPAN("inner");
+      SG_TRACE_SPAN("sibling");
+    }
+  }
+  const std::string json = trace_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sibling\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansFromPoolThreadsAreRecorded) {
+  ThreadPool pool(3);
+  pool.parallel_for(8, [](std::size_t) { SG_TRACE_SPAN("pool_span"); });
+  const std::string json = trace_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  std::size_t occurrences = 0;
+  for (std::size_t pos = json.find("pool_span"); pos != std::string::npos;
+       pos = json.find("pool_span", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 8u);
+}
+
+TEST_F(TraceTest, FlushWritesFile) {
+  { SG_TRACE_SPAN("flushed_span"); }
+  const std::string path = testing::TempDir() + "/sg_trace_flush.json";
+  trace_flush(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buffer.str()));
+  EXPECT_NE(buffer.str().find("flushed_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceDisabledTest, DisabledSpansRecordNothing) {
+  trace_set_enabled(false);
+  trace_reset();
+  { SG_TRACE_SPAN("ghost"); }
+  const std::string json = trace_json();
+  EXPECT_EQ(json.find("ghost"), std::string::npos);
+  EXPECT_TRUE(json_well_formed(json));
+}
+
+TEST(TrainLogTest, JsonlRoundTrip) {
+  TrainIterRecord record;
+  record.iteration = 123;
+  record.d_loss = 1.25;
+  record.g_adv_loss = 0.0625;
+  record.l1_loss = 3.0e-7;
+  record.grad_norm_d = 17.5;
+  record.grad_norm_g = 0.0;
+  record.seconds = 0.001953125;
+
+  const std::string line = to_jsonl(record);
+  EXPECT_TRUE(json_well_formed(line)) << line;
+  const auto parsed = parse_jsonl(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->iteration, record.iteration);
+  EXPECT_DOUBLE_EQ(parsed->d_loss, record.d_loss);
+  EXPECT_DOUBLE_EQ(parsed->g_adv_loss, record.g_adv_loss);
+  EXPECT_DOUBLE_EQ(parsed->l1_loss, record.l1_loss);
+  EXPECT_DOUBLE_EQ(parsed->grad_norm_d, record.grad_norm_d);
+  EXPECT_DOUBLE_EQ(parsed->grad_norm_g, record.grad_norm_g);
+  EXPECT_DOUBLE_EQ(parsed->seconds, record.seconds);
+}
+
+TEST(TrainLogTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(parse_jsonl("").has_value());
+  EXPECT_FALSE(parse_jsonl("{}").has_value());
+  EXPECT_FALSE(parse_jsonl("{\"iter\":1,\"d_loss\":0.5}").has_value());
+}
+
+TEST(TrainLogTest, DisabledSinkIsNoop) {
+  TrainLogSink sink{std::string()};
+  EXPECT_FALSE(sink.enabled());
+  sink.write({});  // must not crash or create files
+}
+
+TEST(TrainLogTest, SinkWritesOneLinePerRecord) {
+  const std::string path = testing::TempDir() + "/sg_train_log.jsonl";
+  std::remove(path.c_str());
+  {
+    TrainLogSink sink(path);
+    ASSERT_TRUE(sink.enabled());
+    for (long it = 0; it < 3; ++it) {
+      TrainIterRecord record;
+      record.iteration = it;
+      record.d_loss = 0.5 * static_cast<double>(it);
+      sink.write(record);
+    }
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::string line;
+  long count = 0;
+  while (std::getline(in, line)) {
+    const auto parsed = parse_jsonl(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->iteration, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spectra::obs
