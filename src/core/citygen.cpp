@@ -8,6 +8,7 @@
 #include "core/trainer.h"
 #include "nn/init.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace spectra::core {
 
@@ -34,7 +35,15 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
 
   nn::InferenceGuard no_grad;
   constexpr std::size_t kChunk = 16;  // bound peak memory of the forward pass
-  for (std::size_t begin = 0; begin < windows.size(); begin += kChunk) {
+  const std::size_t n_chunks = (windows.size() + kChunk - 1) / kChunk;
+
+  // One chunk = one batched generator forward. Chunks are independent, so
+  // groups of up to parallel_threads() chunks run concurrently (peak
+  // memory stays bounded at threads x kChunk patches); the overlap
+  // accumulation below then replays every patch in window order on this
+  // thread, keeping the sewn city bitwise independent of thread count.
+  const auto run_chunk = [&](std::size_t chunk) -> nn::Tensor {
+    const std::size_t begin = chunk * kChunk;
     const std::size_t end = std::min(begin + kChunk, windows.size());
     const long n = static_cast<long>(end - begin);
 
@@ -54,16 +63,33 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
     const GeneratorOutput out = generator_forward(
         nn::Var::constant(std::move(ctx_batch)), nn::Var::constant(std::move(noise_batch)), steps,
         expand_k);
-    const nn::Tensor& traffic = out.traffic.value();  // [n, steps, P]
+    return out.traffic.value();  // [n, steps, P]
+  };
 
-    std::vector<float> patch(static_cast<std::size_t>(steps * pixels));
-    for (long b = 0; b < n; ++b) {
-      for (long t = 0; t < steps; ++t) {
-        for (long p = 0; p < pixels; ++p) {
-          patch[static_cast<std::size_t>(t * pixels + p)] = traffic[(b * steps + t) * pixels + p];
+  const std::size_t group = std::max<std::size_t>(1, parallel_threads());
+  std::vector<float> patch(static_cast<std::size_t>(steps * pixels));
+  for (std::size_t g0 = 0; g0 < n_chunks; g0 += group) {
+    const std::size_t g1 = std::min(g0 + group, n_chunks);
+    std::vector<nn::Tensor> chunk_traffic(g1 - g0);
+    parallel_for(g1 - g0, /*grain=*/1, [&](std::size_t lo, std::size_t hi) {
+      // InferenceGuard is thread-local: pool workers re-arm it so the
+      // forward pass skips graph recording there too.
+      nn::InferenceGuard worker_no_grad;
+      for (std::size_t c = lo; c < hi; ++c) chunk_traffic[c] = run_chunk(g0 + c);
+    });
+
+    for (std::size_t c = 0; c < chunk_traffic.size(); ++c) {
+      const nn::Tensor& traffic = chunk_traffic[c];
+      const std::size_t begin = (g0 + c) * kChunk;
+      const long n = traffic.dim(0);
+      for (long b = 0; b < n; ++b) {
+        for (long t = 0; t < steps; ++t) {
+          for (long p = 0; p < pixels; ++p) {
+            patch[static_cast<std::size_t>(t * pixels + p)] = traffic[(b * steps + t) * pixels + p];
+          }
         }
+        accumulator.add_patch(windows[begin + static_cast<std::size_t>(b)], spec, patch);
       }
-      accumulator.add_patch(windows[begin + static_cast<std::size_t>(b)], spec, patch);
     }
   }
 

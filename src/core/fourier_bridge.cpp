@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace spectra::core {
 
@@ -35,24 +36,29 @@ Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
   const double k_scale = static_cast<double>(expand_k) * static_cast<double>(base_steps);
 
   Tensor out({B, t_out, P});
-  {
-    std::vector<dsp::Complex> full(static_cast<std::size_t>(f_out));
-    for (long b = 0; b < B; ++b) {
-      for (long p = 0; p < P; ++p) {
-        std::fill(full.begin(), full.end(), dsp::Complex(0.0, 0.0));
-        for (long i = 0; i < f_gen; ++i) {
-          // Channel layout: [re_0, im_0, re_1, im_1, ...] over axis 1.
-          const double re = spec[(b * two_f + 2 * i) * P + p];
-          const double im = spec[(b * two_f + 2 * i + 1) * P + p];
-          full[static_cast<std::size_t>(expand_k * i)] = dsp::Complex(re, im) * k_scale;
+  // Each (b, p) series is independent; chunk the flattened B*P axis over
+  // the shared pool. Writes into `out` are disjoint per (b, p), so the
+  // result is bitwise identical for any thread count.
+  parallel_for(
+      static_cast<std::size_t>(B * P), /*grain=*/16,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<dsp::Complex> full(static_cast<std::size_t>(f_out));
+        for (std::size_t bp = begin; bp < end; ++bp) {
+          const long b = static_cast<long>(bp) / P;
+          const long p = static_cast<long>(bp) % P;
+          std::fill(full.begin(), full.end(), dsp::Complex(0.0, 0.0));
+          for (long i = 0; i < f_gen; ++i) {
+            // Channel layout: [re_0, im_0, re_1, im_1, ...] over axis 1.
+            const double re = spec[(b * two_f + 2 * i) * P + p];
+            const double im = spec[(b * two_f + 2 * i + 1) * P + p];
+            full[static_cast<std::size_t>(expand_k * i)] = dsp::Complex(re, im) * k_scale;
+          }
+          const std::vector<double> series = dsp::irfft(full, t_out);
+          for (long t = 0; t < t_out; ++t) {
+            out[(b * t_out + t) * P + p] = static_cast<float>(series[static_cast<std::size_t>(t)]);
+          }
         }
-        const std::vector<double> series = dsp::irfft(full, t_out);
-        for (long t = 0; t < t_out; ++t) {
-          out[(b * t_out + t) * P + p] = static_cast<float>(series[static_cast<std::size_t>(t)]);
-        }
-      }
-    }
-  }
+      });
 
   return Var::make_op(
       std::move(out), {spectrum},
@@ -60,27 +66,33 @@ Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
         if (!parents[0].requires_grad()) return;
         SG_TRACE_SPAN("core/irfft_bridge_backward");
         Tensor& gs = parents[0].grad_storage();
-        std::vector<double> series(static_cast<std::size_t>(t_out));
-        for (long b = 0; b < B; ++b) {
-          for (long p = 0; p < P; ++p) {
-            for (long t = 0; t < t_out; ++t) {
-              series[static_cast<std::size_t>(t)] = g[(b * t_out + t) * P + p];
-            }
-            const std::vector<dsp::Complex> grad_spec = dsp::rfft(series);
-            for (long i = 0; i < f_gen; ++i) {
-              const long bin = expand_k * i;
-              // Hermitian weighting: interior bins appear twice in the
-              // inverse transform, DC and Nyquist once.
-              const bool edge = (bin == 0) || (2 * bin == t_out);
-              const double c = (edge ? 1.0 : 2.0) * k_scale / static_cast<double>(t_out);
-              const dsp::Complex gb = grad_spec[static_cast<std::size_t>(bin)];
-              gs[(b * two_f + 2 * i) * P + p] += static_cast<float>(c * gb.real());
-              if (!edge) {
-                gs[(b * two_f + 2 * i + 1) * P + p] += static_cast<float>(c * gb.imag());
+        // Gradient writes touch only the (b, p) column being processed,
+        // so the flattened B*P axis parallelizes with disjoint writes.
+        parallel_for(
+            static_cast<std::size_t>(B * P), /*grain=*/16,
+            [&](std::size_t begin, std::size_t end) {
+              std::vector<double> series(static_cast<std::size_t>(t_out));
+              for (std::size_t bp = begin; bp < end; ++bp) {
+                const long b = static_cast<long>(bp) / P;
+                const long p = static_cast<long>(bp) % P;
+                for (long t = 0; t < t_out; ++t) {
+                  series[static_cast<std::size_t>(t)] = g[(b * t_out + t) * P + p];
+                }
+                const std::vector<dsp::Complex> grad_spec = dsp::rfft(series);
+                for (long i = 0; i < f_gen; ++i) {
+                  const long bin = expand_k * i;
+                  // Hermitian weighting: interior bins appear twice in the
+                  // inverse transform, DC and Nyquist once.
+                  const bool edge = (bin == 0) || (2 * bin == t_out);
+                  const double c = (edge ? 1.0 : 2.0) * k_scale / static_cast<double>(t_out);
+                  const dsp::Complex gb = grad_spec[static_cast<std::size_t>(bin)];
+                  gs[(b * two_f + 2 * i) * P + p] += static_cast<float>(c * gb.real());
+                  if (!edge) {
+                    gs[(b * two_f + 2 * i + 1) * P + p] += static_cast<float>(c * gb.imag());
+                  }
+                }
               }
-            }
-          }
-        }
+            });
       });
 }
 

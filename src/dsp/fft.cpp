@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,13 +52,7 @@ struct BluesteinPlan {
   std::vector<Complex> kernel;  // FFT of the padded conjugate chirp
 };
 
-const BluesteinPlan& bluestein_plan(long n, int sign) {
-  // Keyed cache; transforms of a handful of distinct lengths dominate.
-  thread_local std::vector<std::unique_ptr<BluesteinPlan>> plans[2];
-  auto& bucket = plans[sign < 0 ? 0 : 1];
-  for (const auto& plan : bucket) {
-    if (plan->n == n) return *plan;
-  }
+std::unique_ptr<BluesteinPlan> build_bluestein_plan(long n, int sign) {
   auto plan = std::make_unique<BluesteinPlan>();
   plan->n = n;
   long m = 1;
@@ -76,6 +72,30 @@ const BluesteinPlan& bluestein_plan(long n, int sign) {
     if (k != 0) plan->kernel[static_cast<std::size_t>(m - k)] = c;
   }
   radix2(plan->kernel, -1);
+  return plan;
+}
+
+const BluesteinPlan& bluestein_plan(long n, int sign) {
+  // Process-wide keyed cache shared by all pool workers; transforms of a
+  // handful of distinct lengths dominate, so each plan is built once per
+  // (length, sign) instead of once per thread. unique_ptr storage keeps
+  // returned references stable while the vector grows.
+  static std::shared_mutex mutex;
+  static std::vector<std::unique_ptr<BluesteinPlan>> plans[2];
+  auto& bucket = plans[sign < 0 ? 0 : 1];
+  {
+    std::shared_lock lock(mutex);
+    for (const auto& plan : bucket) {
+      if (plan->n == n) return *plan;
+    }
+  }
+  // Build outside the lock (two racing threads may both build; one copy
+  // wins below and the other is discarded).
+  auto plan = build_bluestein_plan(n, sign);
+  std::unique_lock lock(mutex);
+  for (const auto& existing : bucket) {
+    if (existing->n == n) return *existing;
+  }
   bucket.push_back(std::move(plan));
   return *bucket.back();
 }

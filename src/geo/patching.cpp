@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace spectra::geo {
 
@@ -126,32 +127,40 @@ CityTensor OverlapAccumulator::finalize() const {
   CityTensor out = sum_;
   const long H = out.height();
   const long W = out.width();
-  for (long i = 0; i < H; ++i) {
-    for (long j = 0; j < W; ++j) {
-      const double n = count_.at(i, j);
-      SG_CHECK(n > 0.0, "pixel not covered by any patch");
-      for (long t = 0; t < out.steps(); ++t) {
-        if (aggregation_ == OverlapAggregation::kMean) {
-          out.at(t, i, j) /= n;
-        } else {
-          std::vector<double> values =
-              contributions_[static_cast<std::size_t>((t * H + i) * W + j)];
-          std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2),
-                           values.end());
-          double median = values[values.size() / 2];
-          if (values.size() % 2 == 0) {
-            // Even count: average the two central order statistics.
-            const double upper = median;
-            std::nth_element(values.begin(),
-                             values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2 - 1),
-                             values.end());
-            median = 0.5 * (values[values.size() / 2 - 1] + upper);
+  const long T = out.steps();
+  // Each (i, j) pixel column is finalized independently; chunking the
+  // flattened H*W axis gives disjoint writes into `out` and (for the
+  // median path) a per-chunk scratch buffer reused across pixels.
+  parallel_for(
+      static_cast<std::size_t>(H * W), /*grain=*/8,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> values;
+        for (std::size_t ij = begin; ij < end; ++ij) {
+          const long i = static_cast<long>(ij) / W;
+          const long j = static_cast<long>(ij) % W;
+          const double n = count_.at(i, j);
+          SG_CHECK(n > 0.0, "pixel not covered by any patch");
+          for (long t = 0; t < T; ++t) {
+            if (aggregation_ == OverlapAggregation::kMean) {
+              out.at(t, i, j) /= n;
+            } else {
+              // One partition pass: nth_element places the upper median;
+              // for even counts the lower median is the maximum of the
+              // left partition — no second nth_element, no fresh copy.
+              const std::vector<double>& contribs =
+                  contributions_[static_cast<std::size_t>((t * H + i) * W + j)];
+              values.assign(contribs.begin(), contribs.end());
+              const auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+              std::nth_element(values.begin(), mid, values.end());
+              double median = *mid;
+              if (values.size() % 2 == 0) {
+                median = 0.5 * (*std::max_element(values.begin(), mid) + median);
+              }
+              out.at(t, i, j) = median;
+            }
           }
-          out.at(t, i, j) = median;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 

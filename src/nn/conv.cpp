@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace spectra::nn {
 
@@ -46,35 +47,41 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
     const float* px = x.data();
     const float* pw = w.data();
     float* py = y.data();
-    for (long n = 0; n < N; ++n) {
-      for (long o = 0; o < O; ++o) {
-        float* yplane = py + (n * O + o) * Ho * Wo;
-        const float bias_v = b[o];
-        for (long i = 0; i < Ho * Wo; ++i) yplane[i] = bias_v;
-        for (long c = 0; c < C; ++c) {
-          const float* xplane = px + (n * C + c) * H * W;
-          const float* wplane = pw + (o * C + c) * kh * kw;
-          for (long oh = 0; oh < Ho; ++oh) {
-            long r_lo, r_hi;
-            tap_range(oh, s, p, H, kh, r_lo, r_hi);
-            const long ih0 = oh * s - p;
-            float* yrow = yplane + oh * Wo;
-            for (long r = r_lo; r < r_hi; ++r) {
-              const float* xrow = xplane + (ih0 + r) * W;
-              const float* wrow = wplane + r * kw;
-              for (long ow = 0; ow < Wo; ++ow) {
-                long q_lo, q_hi;
-                tap_range(ow, s, p, W, kw, q_lo, q_hi);
-                const long iw0 = ow * s - p;
-                float acc = 0.0f;
-                for (long q = q_lo; q < q_hi; ++q) acc += xrow[iw0 + q] * wrow[q];
-                yrow[ow] += acc;
+    // Each (n, o) output plane is written by exactly one chunk, with the
+    // same inner-loop order as the serial code — bitwise deterministic.
+    parallel_for(
+        static_cast<std::size_t>(N * O), /*grain=*/1,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t no = begin; no < end; ++no) {
+            const long n = static_cast<long>(no) / O;
+            const long o = static_cast<long>(no) % O;
+            float* yplane = py + (n * O + o) * Ho * Wo;
+            const float bias_v = b[o];
+            for (long i = 0; i < Ho * Wo; ++i) yplane[i] = bias_v;
+            for (long c = 0; c < C; ++c) {
+              const float* xplane = px + (n * C + c) * H * W;
+              const float* wplane = pw + (o * C + c) * kh * kw;
+              for (long oh = 0; oh < Ho; ++oh) {
+                long r_lo, r_hi;
+                tap_range(oh, s, p, H, kh, r_lo, r_hi);
+                const long ih0 = oh * s - p;
+                float* yrow = yplane + oh * Wo;
+                for (long r = r_lo; r < r_hi; ++r) {
+                  const float* xrow = xplane + (ih0 + r) * W;
+                  const float* wrow = wplane + r * kw;
+                  for (long ow = 0; ow < Wo; ++ow) {
+                    long q_lo, q_hi;
+                    tap_range(ow, s, p, W, kw, q_lo, q_hi);
+                    const long iw0 = ow * s - p;
+                    float acc = 0.0f;
+                    for (long q = q_lo; q < q_hi; ++q) acc += xrow[iw0 + q] * wrow[q];
+                    yrow[ow] += acc;
+                  }
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   }
 
   return Var::make_op(
@@ -89,53 +96,93 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
         Tensor* gw = need_dw ? &parents[1].grad_storage() : nullptr;
         Tensor* gb = need_db ? &parents[2].grad_storage() : nullptr;
 
+        // The three gradients are computed by separate loop nests so every
+        // parallel chunk owns a disjoint slice of exactly one buffer:
+        // db over o, dx over (n, c) planes, dw over (o, c) planes. Within
+        // a slice the reduction order matches the serial code (n ascending,
+        // then the kernel-tap order), so results are bitwise identical for
+        // any thread count.
         if (need_db) {
-          for (long n = 0; n < N; ++n) {
-            for (long o = 0; o < O; ++o) {
-              const float* grow = g.data() + (n * O + o) * Ho * Wo;
-              float acc = 0.0f;
-              for (long i = 0; i < Ho * Wo; ++i) acc += grow[i];
-              (*gb)[o] += acc;
-            }
-          }
+          parallel_for(static_cast<std::size_t>(O), /*grain=*/1,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t ou = begin; ou < end; ++ou) {
+                           const long o = static_cast<long>(ou);
+                           for (long n = 0; n < N; ++n) {
+                             const float* grow = g.data() + (n * O + o) * Ho * Wo;
+                             float acc = 0.0f;
+                             for (long i = 0; i < Ho * Wo; ++i) acc += grow[i];
+                             (*gb)[o] += acc;
+                           }
+                         }
+                       });
         }
-        if (!need_dx && !need_dw) return;
 
-        for (long n = 0; n < N; ++n) {
-          for (long o = 0; o < O; ++o) {
-            const float* gplane = g.data() + (n * O + o) * Ho * Wo;
-            for (long c = 0; c < C; ++c) {
-              const float* xplane = x.data() + (n * C + c) * H * W;
-              const float* wplane = w.data() + (o * C + c) * kh * kw;
-              float* gxplane = need_dx ? gx->data() + (n * C + c) * H * W : nullptr;
-              float* gwplane = need_dw ? gw->data() + (o * C + c) * kh * kw : nullptr;
-              for (long oh = 0; oh < Ho; ++oh) {
-                long r_lo, r_hi;
-                tap_range(oh, s, p, H, kh, r_lo, r_hi);
-                const long ih0 = oh * s - p;
-                const float* grow = gplane + oh * Wo;
-                for (long r = r_lo; r < r_hi; ++r) {
-                  const float* xrow = xplane + (ih0 + r) * W;
-                  float* gxrow = need_dx ? gxplane + (ih0 + r) * W : nullptr;
-                  const float* wrow = wplane + r * kw;
-                  float* gwrow = need_dw ? gwplane + r * kw : nullptr;
-                  for (long ow = 0; ow < Wo; ++ow) {
-                    const float gv = grow[ow];
-                    if (gv == 0.0f) continue;
-                    long q_lo, q_hi;
-                    tap_range(ow, s, p, W, kw, q_lo, q_hi);
-                    const long iw0 = ow * s - p;
-                    if (need_dx) {
-                      for (long q = q_lo; q < q_hi; ++q) gxrow[iw0 + q] += gv * wrow[q];
-                    }
-                    if (need_dw) {
-                      for (long q = q_lo; q < q_hi; ++q) gwrow[q] += gv * xrow[iw0 + q];
+        if (need_dx) {
+          parallel_for(
+              static_cast<std::size_t>(N * C), /*grain=*/1,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t nc = begin; nc < end; ++nc) {
+                  const long n = static_cast<long>(nc) / C;
+                  const long c = static_cast<long>(nc) % C;
+                  float* gxplane = gx->data() + (n * C + c) * H * W;
+                  for (long o = 0; o < O; ++o) {
+                    const float* gplane = g.data() + (n * O + o) * Ho * Wo;
+                    const float* wplane = w.data() + (o * C + c) * kh * kw;
+                    for (long oh = 0; oh < Ho; ++oh) {
+                      long r_lo, r_hi;
+                      tap_range(oh, s, p, H, kh, r_lo, r_hi);
+                      const long ih0 = oh * s - p;
+                      const float* grow = gplane + oh * Wo;
+                      for (long r = r_lo; r < r_hi; ++r) {
+                        float* gxrow = gxplane + (ih0 + r) * W;
+                        const float* wrow = wplane + r * kw;
+                        for (long ow = 0; ow < Wo; ++ow) {
+                          const float gv = grow[ow];
+                          if (gv == 0.0f) continue;
+                          long q_lo, q_hi;
+                          tap_range(ow, s, p, W, kw, q_lo, q_hi);
+                          const long iw0 = ow * s - p;
+                          for (long q = q_lo; q < q_hi; ++q) gxrow[iw0 + q] += gv * wrow[q];
+                        }
+                      }
                     }
                   }
                 }
-              }
-            }
-          }
+              });
+        }
+
+        if (need_dw) {
+          parallel_for(
+              static_cast<std::size_t>(O * C), /*grain=*/1,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t oc = begin; oc < end; ++oc) {
+                  const long o = static_cast<long>(oc) / C;
+                  const long c = static_cast<long>(oc) % C;
+                  float* gwplane = gw->data() + (o * C + c) * kh * kw;
+                  for (long n = 0; n < N; ++n) {
+                    const float* gplane = g.data() + (n * O + o) * Ho * Wo;
+                    const float* xplane = x.data() + (n * C + c) * H * W;
+                    for (long oh = 0; oh < Ho; ++oh) {
+                      long r_lo, r_hi;
+                      tap_range(oh, s, p, H, kh, r_lo, r_hi);
+                      const long ih0 = oh * s - p;
+                      const float* grow = gplane + oh * Wo;
+                      for (long r = r_lo; r < r_hi; ++r) {
+                        const float* xrow = xplane + (ih0 + r) * W;
+                        float* gwrow = gwplane + r * kw;
+                        for (long ow = 0; ow < Wo; ++ow) {
+                          const float gv = grow[ow];
+                          if (gv == 0.0f) continue;
+                          long q_lo, q_hi;
+                          tap_range(ow, s, p, W, kw, q_lo, q_hi);
+                          const long iw0 = ow * s - p;
+                          for (long q = q_lo; q < q_hi; ++q) gwrow[q] += gv * xrow[iw0 + q];
+                        }
+                      }
+                    }
+                  }
+                }
+              });
         }
       });
 }

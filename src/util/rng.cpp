@@ -23,7 +23,23 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::size_t Rng::uniform_index(std::size_t n) {
   SG_CHECK(n > 0, "uniform_index requires n > 0");
-  return static_cast<std::size_t>(next_u64() % n);
+  // Lemire's nearly-divisionless bounded sampling (Lemire 2019): map the
+  // 64-bit draw onto [0, n) via the high half of a 128-bit product and
+  // reject the sliver of draws that would bias the low residues — unlike
+  // `next_u64() % n`, every index is exactly equally likely.
+  const std::uint64_t bound = static_cast<std::uint64_t>(n);
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;  // (2^64 - n) mod n
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::size_t>(m >> 64);
 }
 
 double Rng::normal() {

@@ -1,12 +1,16 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace spectra {
 
 namespace {
+
 obs::Counter& queued_counter() {
   static obs::Counter& c = obs::Registry::instance().counter("pool.tasks_queued");
   return c;
@@ -19,6 +23,36 @@ obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
   return g;
 }
+obs::Counter& chunks_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("pool.parallel_chunks");
+  return c;
+}
+obs::Counter& inline_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("pool.parallel_inline_runs");
+  return c;
+}
+
+// Set for the lifetime of every pool worker thread.
+thread_local bool tls_in_worker = false;
+
+// Split [0, n) into at most `max_chunks` chunks of >= grain indices and
+// run them through `run_chunk`, executing the first chunk on the calling
+// thread. `run_chunk(begin, end, chunk_index)` must not throw (it records
+// exceptions itself).
+struct ChunkPlan {
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+};
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain, std::size_t threads) {
+  grain = std::max<std::size_t>(1, grain);
+  threads = std::max<std::size_t>(1, threads);
+  ChunkPlan plan;
+  plan.chunk_size = std::max(grain, (n + threads - 1) / threads);
+  plan.num_chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -40,6 +74,8 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::in_worker_thread() { return tls_in_worker; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
@@ -53,24 +89,53 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t max_chunks) {
+  if (n == 0) return;
+  const ChunkPlan plan = plan_chunks(n, grain, max_chunks == 0 ? size() : max_chunks);
+  // Nested use: a worker waiting on futures would block the very queue
+  // slot needed to run them — execute the whole range inline instead.
+  if (plan.num_chunks <= 1 || tls_in_worker) {
+    inline_counter().inc();
+    fn(0, n);
+    return;
+  }
+
+  chunks_counter().inc(plan.num_chunks);
+  std::vector<std::exception_ptr> errors(plan.num_chunks);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(plan.num_chunks - 1);
+  for (std::size_t c = 1; c < plan.num_chunks; ++c) {
+    const std::size_t begin = c * plan.chunk_size;
+    const std::size_t end = std::min(n, begin + plan.chunk_size);
+    futures.push_back(submit([&fn, &errors, begin, end, c] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }));
   }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  try {
+    fn(0, std::min(n, plan.chunk_size));
+  } catch (...) {
+    errors[0] = std::current_exception();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  for (auto& future : futures) future.get();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, /*grain=*/1, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 void ThreadPool::worker_loop() {
+  tls_in_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -84,6 +149,55 @@ void ThreadPool::worker_loop() {
     task();
     executed_counter().inc();
   }
+}
+
+namespace {
+
+std::size_t env_default_threads() {
+  const long v = env_long("SPECTRA_THREADS", 0);
+  if (v <= 0) return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return static_cast<std::size_t>(v);
+}
+
+// 0 = not yet initialised from the environment.
+std::atomic<std::size_t> g_parallel_threads{0};
+
+ThreadPool& shared_pool(std::size_t min_size) {
+  // Sized once at first fan-out; later set_parallel_threads calls larger
+  // than the pool still work (chunks queue behind each other).
+  static ThreadPool pool(min_size);
+  return pool;
+}
+
+}  // namespace
+
+std::size_t parallel_threads() {
+  std::size_t v = g_parallel_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = env_default_threads();
+    g_parallel_threads.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_parallel_threads(std::size_t n) {
+  g_parallel_threads.store(n == 0 ? env_default_threads() : n, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads = parallel_threads();
+  const ChunkPlan plan = plan_chunks(n, grain, threads);
+  if (threads <= 1 || plan.num_chunks <= 1 || ThreadPool::in_worker_thread()) {
+    inline_counter().inc();
+    fn(0, n);
+    return;
+  }
+  // Cap chunks at the *effective* thread count, not the pool size, so
+  // set_parallel_threads keeps full control over the fan-out even when
+  // the shared pool was created with a different size.
+  shared_pool(threads).parallel_for(n, grain, fn, threads);
 }
 
 }  // namespace spectra

@@ -1,9 +1,17 @@
-// Fixed-size thread pool with a parallel_for helper.
+// Fixed-size thread pool with blocked-range parallel_for helpers.
 //
-// Experiment drivers use this to run independent leave-one-city-out folds
-// concurrently. On single-core hosts the pool degrades gracefully to one
-// worker; all library entry points remain deterministic because each task
-// owns its Rng stream.
+// The compute hot paths (conv2d planes, per-pixel FFT bridges, city
+// assembly) call the free `spectra::parallel_for` below, which runs on a
+// process-wide shared pool sized by `SPECTRA_THREADS` (default:
+// hardware_concurrency; `1` = fully serial, no worker threads). Work is
+// split into O(threads) contiguous chunks rather than one task per index,
+// and a call made from inside a pool worker executes inline, so nested
+// parallel regions cannot deadlock on their own queue.
+//
+// Determinism contract: callers partition writes disjointly across
+// indices and keep RNG out of parallel regions, so results are bitwise
+// identical for any thread count — the chunking only changes which thread
+// computes an index, never the per-index instruction sequence.
 
 #pragma once
 
@@ -29,11 +37,27 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // True when the calling thread is a worker of any ThreadPool. Used to
+  // run nested parallel_for calls inline instead of re-entering a queue
+  // the caller itself is supposed to drain.
+  static bool in_worker_thread();
+
   // Enqueue a task; the future resolves when it completes.
   std::future<void> submit(std::function<void()> task);
 
-  // Run fn(i) for i in [0, n) across the pool and wait for completion.
-  // Exceptions from tasks are rethrown (first one wins).
+  // Blocked-range parallel loop: fn(begin, end) over disjoint chunks
+  // covering [0, n). At most `max_chunks` chunks are submitted (0 =
+  // size(), i.e. O(threads)) and each chunk spans at least `grain`
+  // indices; the caller executes the first chunk itself. Runs fully
+  // inline when called from a worker thread or when only one chunk
+  // results. Exceptions from chunks are rethrown (lowest chunk index
+  // wins). The chunk layout for given (n, grain, max_chunks) is fixed,
+  // so which indices share a chunk never depends on pool size.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t max_chunks = 0);
+
+  // Per-index convenience wrapper over the blocked-range form.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -45,5 +69,20 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+// Effective thread count for the free parallel_for: initialised from
+// SPECTRA_THREADS on first use (0/unset = hardware_concurrency, 1 =
+// fully serial). set_parallel_threads overrides it at runtime (tests,
+// experiment drivers); 0 resets to the environment default.
+std::size_t parallel_threads();
+void set_parallel_threads(std::size_t n);
+
+// Run fn(begin, end) over disjoint chunks of [0, n) on the process-wide
+// shared pool. Serial (inline, no pool touched) when parallel_threads()
+// is 1, when n fits in one grain-sized chunk, or when already running on
+// a pool worker. The shared pool is created lazily on the first call
+// that actually fans out.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace spectra

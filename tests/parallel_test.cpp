@@ -1,0 +1,265 @@
+// The parallel execution layer: results must be bitwise identical for
+// any thread count (disjoint writes, no RNG in parallel regions), nested
+// parallel_for must run inline instead of deadlocking on its own queue,
+// and exceptions must propagate out of chunked tasks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/fourier_bridge.h"
+#include "core/losses.h"
+#include "core/trainer.h"
+#include "geo/patching.h"
+#include "nn/conv.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace spectra {
+namespace {
+
+// Scoped override of the effective thread count; restores the
+// SPECTRA_THREADS / hardware default on destruction.
+struct ThreadsOverride {
+  explicit ThreadsOverride(std::size_t n) { set_parallel_threads(n); }
+  ~ThreadsOverride() { set_parallel_threads(0); }
+};
+
+void expect_bitwise_equal(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (long i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+// --- bitwise determinism across thread counts ---
+
+struct ConvRun {
+  nn::Tensor y, gx, gw, gb;
+};
+
+ConvRun run_conv(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  Rng rng(123);
+  nn::Var x = nn::Var::leaf(nn::init::gaussian({2, 3, 9, 7}, 1.0f, rng));
+  nn::Var w = nn::Var::leaf(nn::init::gaussian({4, 3, 3, 3}, 0.5f, rng));
+  nn::Var b = nn::Var::leaf(nn::init::gaussian({4}, 0.5f, rng));
+  nn::Conv2dSpec spec;
+  spec.stride = 2;
+  spec.padding = 1;
+  nn::Var y = nn::conv2d(x, w, b, spec);
+  nn::sum(y).backward();
+  return {y.value(), x.grad(), w.grad(), b.grad()};
+}
+
+TEST(ParallelDeterminismTest, Conv2dBitwiseIdenticalAcrossThreadCounts) {
+  const ConvRun serial = run_conv(1);
+  const ConvRun parallel = run_conv(8);
+  expect_bitwise_equal(serial.y, parallel.y, "conv2d forward");
+  expect_bitwise_equal(serial.gx, parallel.gx, "conv2d grad input");
+  expect_bitwise_equal(serial.gw, parallel.gw, "conv2d grad weight");
+  expect_bitwise_equal(serial.gb, parallel.gb, "conv2d grad bias");
+}
+
+struct BridgeRun {
+  nn::Tensor traffic, grad;
+};
+
+BridgeRun run_bridge(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  Rng rng(321);
+  nn::Var spectrum = nn::Var::leaf(nn::init::gaussian({3, 8, 6}, 1.0f, rng));
+  nn::Var traffic = core::irfft_bridge(spectrum, /*base_steps=*/24, /*expand_k=*/2);
+  nn::sum(traffic).backward();
+  return {traffic.value(), spectrum.grad()};
+}
+
+TEST(ParallelDeterminismTest, IrfftBridgeBitwiseIdenticalAcrossThreadCounts) {
+  const BridgeRun serial = run_bridge(1);
+  const BridgeRun parallel = run_bridge(8);
+  expect_bitwise_equal(serial.traffic, parallel.traffic, "irfft_bridge forward");
+  expect_bitwise_equal(serial.grad, parallel.grad, "irfft_bridge backward");
+}
+
+TEST(ParallelDeterminismTest, SpectrumTargetsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(55);
+  const nn::Tensor traffic = nn::init::gaussian({2, 24, 9}, 1.0f, rng);
+  nn::Tensor plain_serial, masked_serial;
+  {
+    ThreadsOverride guard(1);
+    plain_serial = core::batch_spectrum(traffic, 8);
+    masked_serial = core::masked_spectrum_target(traffic, 8, 0.6);
+  }
+  ThreadsOverride guard(8);
+  expect_bitwise_equal(plain_serial, core::batch_spectrum(traffic, 8), "batch_spectrum");
+  expect_bitwise_equal(masked_serial, core::masked_spectrum_target(traffic, 8, 0.6),
+                       "masked_spectrum_target");
+}
+
+core::SpectraGanConfig tiny_config() {
+  core::SpectraGanConfig config;
+  config.train_steps = 24;
+  config.spectrum_bins = 8;
+  config.hidden_channels = 6;
+  config.encoder_mid_channels = 8;
+  config.spectrum_mid_channels = 8;
+  config.lstm_hidden = 8;
+  config.cond_dim = 8;
+  config.disc_mlp_hidden = 8;
+  config.noise_channels = 2;
+  config.iterations = 2;
+  config.batch = 2;
+  return config;
+}
+
+geo::CityTensor run_citygen(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  const core::SpectraGanConfig config = tiny_config();
+  core::SpectraGan model(config, /*seed=*/16);
+  geo::ContextTensor context(config.context_channels, 12, 12);
+  Rng rng_fill(17);
+  for (double& v : context.values()) v = rng_fill.uniform(0, 1);
+  Rng rng(21);
+  return model.generate_city(context, 2 * config.train_steps, rng);
+}
+
+TEST(ParallelDeterminismTest, GenerateCityBitwiseIdenticalAcrossThreadCounts) {
+  const geo::CityTensor serial = run_citygen(1);
+  const geo::CityTensor parallel = run_citygen(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (long i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "generate_city diverges at flat index " << i;
+  }
+}
+
+geo::CityTensor run_median_finalize(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  geo::PatchSpec spec;
+  spec.traffic_h = spec.traffic_w = 4;
+  spec.context_h = spec.context_w = 8;
+  spec.stride = 2;
+  geo::OverlapAccumulator acc(3, 10, 10, geo::OverlapAggregation::kMedian);
+  Rng rng(9);
+  std::vector<float> patch(static_cast<std::size_t>(3 * 4 * 4));
+  for (const geo::PatchWindow& w : geo::enumerate_windows(10, 10, spec)) {
+    for (float& v : patch) v = static_cast<float>(rng.uniform(0, 5));
+    acc.add_patch(w, spec, patch);
+  }
+  return acc.finalize();
+}
+
+TEST(ParallelDeterminismTest, MedianFinalizeBitwiseIdenticalAcrossThreadCounts) {
+  const geo::CityTensor serial = run_median_finalize(1);
+  const geo::CityTensor parallel = run_median_finalize(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (long i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "median finalize diverges at flat index " << i;
+  }
+}
+
+// --- chunking, nesting, and failure behaviour of the layer itself ---
+
+TEST(ParallelForTest, CoversRangeWithDisjointChunks) {
+  ThreadsOverride guard(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(1000, 1, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mu);
+    chunks.push_back({begin, end});
+  });
+  // O(threads) chunks, not one task per index.
+  EXPECT_LE(chunks.size(), 8u);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(ParallelForTest, GrainForcesInlineExecutionForSmallRanges) {
+  ThreadsOverride guard(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(10, 100, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard lock(mu);
+    chunks.push_back({begin, end});
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 10}));
+}
+
+// Under the pre-parallel-layer pool this deadlocked: both workers blocked
+// in the nested call's future.get() with the nested tasks stuck behind
+// them in the queue. Nested calls now execute inline on the worker.
+TEST(ParallelForTest, NestedParallelForOnSamePoolDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&pool, &count](std::size_t) {
+    pool.parallel_for(8, [&count](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForTest, NestedFreeParallelForDoesNotDeadlock) {
+  ThreadsOverride guard(4);
+  std::atomic<int> count{0};
+  parallel_for(8, 1, [&count](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel_for(16, 1, [&count](std::size_t b, std::size_t e) {
+        count += static_cast<int>(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromWorkerChunk) {
+  ThreadsOverride guard(4);
+  // n=100 over 4 threads -> chunks start at 0, 25, 50, 75; the throwing
+  // chunks run on pool workers, not the calling thread.
+  EXPECT_THROW(parallel_for(100, 1,
+                            [](std::size_t begin, std::size_t) {
+                              if (begin >= 50) throw Error("worker chunk failed");
+                            }),
+               Error);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromCallerChunk) {
+  ThreadsOverride guard(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(100, 1, [&completed](std::size_t begin, std::size_t end) {
+      if (begin == 0) throw Error("caller chunk failed");
+      completed += static_cast<int>(end - begin);
+    });
+    FAIL() << "exception swallowed";
+  } catch (const Error&) {
+  }
+  // The remaining chunks still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 75);
+}
+
+TEST(ParallelForTest, SerialThreadCountRunsInline) {
+  ThreadsOverride guard(1);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  // No mutex needed: with parallel_threads() == 1 the callback runs on
+  // this thread in a single chunk.
+  parallel_for(1000, 1,
+               [&](std::size_t begin, std::size_t end) { chunks.push_back({begin, end}); });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 1000}));
+}
+
+}  // namespace
+}  // namespace spectra

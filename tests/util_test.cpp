@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -140,6 +141,35 @@ TEST(RngTest, UniformIndexBounds) {
   Rng rng(47);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
   EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(RngTest, UniformIndexIsUnbiased) {
+  // Lemire rejection sampling: every bucket of a non-power-of-two bound
+  // must be hit equally often (the old `% n` path biased low residues).
+  Rng rng(53);
+  const int n = 60000;
+  int buckets[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform_index(6)];
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_NEAR(static_cast<double>(buckets[b]), n / 6.0, 500.0) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, ShuffleProducesUniformPermutations) {
+  // All 3! = 6 permutations of {0,1,2} equally likely under Fisher-Yates
+  // with unbiased index draws.
+  Rng rng(59);
+  std::map<std::vector<std::size_t>, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::size_t> v = {0, 1, 2};
+    rng.shuffle(v);
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), n / 6.0, 500.0);
+  }
 }
 
 TEST(CsvTest, HeaderArityEnforced) {
