@@ -1,5 +1,7 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+
 #include "core/fourier_bridge.h"
 #include "core/losses.h"
 #include "nn/init.h"
@@ -86,7 +88,36 @@ SpectraGan::GeneratorOutput SpectraGan::generator_forward(const Var& context,
   return out;
 }
 
+namespace {
+
+// Copy checkpointed tensors back into live parameter storage.
+void restore_params(const std::vector<nn::Tensor>& saved, std::vector<Var> params,
+                    const char* which) {
+  SG_CHECK(saved.size() == params.size(),
+           std::string("checkpoint ") + which + " parameter count mismatch");
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    SG_CHECK(saved[k].same_shape(params[k].value()),
+             std::string("checkpoint ") + which + " parameter shape mismatch");
+    params[k].value_mut() = saved[k];
+  }
+}
+
+train::AdamSnapshot capture_adam(const nn::Adam& opt) {
+  train::AdamSnapshot snap;
+  snap.step_count = static_cast<std::uint64_t>(opt.step_count());
+  snap.m = opt.first_moments();
+  snap.v = opt.second_moments();
+  return snap;
+}
+
+}  // namespace
+
 TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
+  return train(sampler, rng, train::CheckpointOptions::from_env());
+}
+
+TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng,
+                             const train::CheckpointOptions& ckpt) {
   SG_CHECK(sampler.train_steps() == config_.train_steps,
            "sampler window length must equal config.train_steps");
   SG_TRACE_SPAN("train/run");
@@ -94,6 +125,7 @@ TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
 
   obs::TrainLogSink train_log;  // $SPECTRA_TRAIN_LOG; disabled when unset
   static obs::Counter& iter_counter = obs::Registry::instance().counter("train.iterations");
+  static obs::Counter& restore_counter = obs::Registry::instance().counter("checkpoint.restores");
   static obs::Histogram& iter_hist =
       obs::Registry::instance().histogram("train.iteration_seconds");
 
@@ -101,7 +133,37 @@ TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
   nn::Adam opt_d(discriminator_parameters(), config_.lr_discriminator, 0.5f, 0.999f);
 
   TrainStats stats;
-  for (long it = 0; it < config_.iterations; ++it) {
+  long start_it = 0;
+  if (!ckpt.dir.empty()) {
+    if (std::optional<train::TrainingSnapshot> snap = train::load_latest(ckpt.dir)) {
+      SG_TRACE_SPAN("checkpoint/restore");
+      restore_params(snap->gen_params, generator_parameters(), "generator");
+      restore_params(snap->disc_params, discriminator_parameters(), "discriminator");
+      opt_g.restore_state(static_cast<long>(snap->opt_g.step_count), std::move(snap->opt_g.m),
+                          std::move(snap->opt_g.v));
+      opt_d.restore_state(static_cast<long>(snap->opt_d.step_count), std::move(snap->opt_d.m),
+                          std::move(snap->opt_d.v));
+      rng.set_state(snap->rng);
+      stats.d_loss_history = std::move(snap->stats.d_loss);
+      stats.g_adv_loss_history = std::move(snap->stats.g_adv_loss);
+      stats.l1_loss_history = std::move(snap->stats.l1_loss);
+      stats.grad_norm_d_history = std::move(snap->stats.grad_norm_d);
+      stats.grad_norm_g_history = std::move(snap->stats.grad_norm_g);
+      stats.iter_seconds_history = std::move(snap->stats.iter_seconds);
+      stats.iterations = static_cast<long>(snap->iteration);
+      stats.resumed_iteration = stats.iterations;
+      if (!stats.d_loss_history.empty()) stats.final_d_loss = stats.d_loss_history.back();
+      if (!stats.g_adv_loss_history.empty()) {
+        stats.final_g_adv_loss = stats.g_adv_loss_history.back();
+      }
+      if (!stats.l1_loss_history.empty()) stats.final_l1_loss = stats.l1_loss_history.back();
+      start_it = std::min(stats.iterations, config_.iterations);
+      restore_counter.inc();
+      SG_LOG_INFO << "resumed from checkpoint at iteration " << stats.iterations << " in "
+                  << ckpt.dir;
+    }
+  }
+  for (long it = start_it; it < config_.iterations; ++it) {
     Stopwatch iter_watch;
     double grad_norm_d = 0.0;
     double grad_norm_g = 0.0;
@@ -203,6 +265,19 @@ TrainStats SpectraGan::train(const data::PatchSampler& sampler, Rng& rng) {
       SG_LOG_INFO << "iter " << (it + 1) << "/" << config_.iterations
                   << " d=" << stats.final_d_loss << " g_adv=" << stats.final_g_adv_loss
                   << " l1=" << stats.final_l1_loss;
+    }
+    if (ckpt.enabled() && (it + 1) % ckpt.every == 0) {
+      train::TrainingSnapshot snap;
+      snap.iteration = static_cast<std::uint64_t>(it + 1);
+      for (const Var& p : generator_parameters()) snap.gen_params.push_back(p.value());
+      for (const Var& p : discriminator_parameters()) snap.disc_params.push_back(p.value());
+      snap.opt_g = capture_adam(opt_g);
+      snap.opt_d = capture_adam(opt_d);
+      snap.rng = rng.state();
+      snap.stats = {stats.d_loss_history,      stats.g_adv_loss_history,
+                    stats.l1_loss_history,     stats.grad_norm_d_history,
+                    stats.grad_norm_g_history, stats.iter_seconds_history};
+      train::write_checkpoint(ckpt.dir, snap, ckpt.keep_last);
     }
   }
   stats.seconds = watch.seconds();

@@ -17,11 +17,13 @@
 #include "data/sampler.h"
 #include "geo/city_tensor.h"
 #include "nn/optim.h"
+#include "train/checkpoint.h"
 
 namespace spectra::core {
 
 struct TrainStats {
   long iterations = 0;
+  long resumed_iteration = 0;  // 0 = fresh start; N = resumed after N completed iterations
   double final_d_loss = 0.0;
   double final_g_adv_loss = 0.0;
   double final_l1_loss = 0.0;
@@ -42,7 +44,17 @@ class SpectraGan {
   SpectraGan(SpectraGanConfig config, std::uint64_t seed);
 
   // Run the full adversarial training loop on patches from `sampler`.
+  // Checkpointing defaults to the SPECTRA_CKPT_* env knobs: when
+  // SPECTRA_CKPT_DIR is set, the run first resumes from the newest valid
+  // snapshot in that directory (corrupt ones are skipped) and then
+  // snapshots the full training state — parameters, Adam moments and
+  // step counts, the `rng` stream, iteration counter, and loss histories
+  // — every SPECTRA_CKPT_EVERY iterations. A killed-and-resumed run
+  // reproduces the uninterrupted loss trajectory and final parameters
+  // bitwise (tests/checkpoint_test.cpp; CI checkpoint-gauntlet).
   TrainStats train(const data::PatchSampler& sampler, Rng& rng);
+  TrainStats train(const data::PatchSampler& sampler, Rng& rng,
+                   const train::CheckpointOptions& ckpt);
 
   // Generate a whole-city tensor of `steps` time steps for the given
   // context (steps must be a multiple of config.train_steps; longer

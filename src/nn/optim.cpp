@@ -60,6 +60,21 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float ep
   }
 }
 
+void Adam::restore_state(long step_count, std::vector<Tensor> m, std::vector<Tensor> v) {
+  SG_CHECK(step_count >= 0, "Adam step count must be non-negative");
+  SG_CHECK(m.size() == params_.size() && v.size() == params_.size(),
+           "Adam moment count mismatch: got " + std::to_string(m.size()) + "/" +
+               std::to_string(v.size()) + ", optimizer has " + std::to_string(params_.size()) +
+               " params");
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    SG_CHECK(m[k].same_shape(params_[k].value()) && v[k].same_shape(params_[k].value()),
+             "Adam moment shape mismatch at parameter " + std::to_string(k));
+  }
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::step() {
   ++t_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));

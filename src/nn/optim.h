@@ -49,6 +49,16 @@ class Adam : public Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  // Full optimizer state for checkpoint/resume: bias-correction step
+  // count plus first/second moment estimates, in parameter order.
+  long step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  // Restore state captured by the accessors above. Moment shapes must
+  // match this optimizer's parameters; throws spectra::Error otherwise.
+  void restore_state(long step_count, std::vector<Tensor> m, std::vector<Tensor> v);
+
  private:
   float lr_;
   float beta1_;

@@ -1,0 +1,97 @@
+// Crash-safe checkpoint/resume for training runs.
+//
+// A snapshot captures the *full* training state — generator and
+// discriminator parameters, Adam first/second moments and step counts,
+// the training Rng stream, the iteration counter, and the per-iteration
+// loss/grad-norm histories — so that kill-at-iteration-N plus resume
+// reproduces an uninterrupted run bitwise (same determinism bar the
+// parallel layer sets for thread counts, DESIGN.md §6a/§6b).
+//
+// Snapshots are versioned binary files with a per-section manifest
+// (section id, byte size, FNV-1a 64 checksum) and a footer magic, written
+// atomically: serialize to `<name>.tmp`, fsync, rename into place, fsync
+// the directory. A torn or truncated write therefore either leaves the
+// previous file untouched or produces a file that fails validation and is
+// skipped by `load_latest` in favour of the last good snapshot.
+//
+// This layer sits below `core/` (it knows tensors, optimizer moments and
+// Rng state, not the model), so `core/trainer.cpp` composes it without a
+// dependency cycle.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace spectra::train {
+
+// Knobs (see README "Checkpoint & resume"): SPECTRA_CKPT_DIR enables
+// checkpointing, SPECTRA_CKPT_EVERY sets the snapshot cadence in
+// iterations, SPECTRA_CKPT_KEEP the retention depth.
+struct CheckpointOptions {
+  std::string dir;    // empty => checkpointing disabled
+  long every = 25;    // write a snapshot every N completed iterations
+  int keep_last = 3;  // snapshots retained after each write (>= 1)
+
+  static CheckpointOptions from_env();
+
+  // True when periodic snapshot writes should happen.
+  bool enabled() const { return !dir.empty() && every > 0; }
+};
+
+// Adam optimizer state (nn::Adam accessors mirror this exactly).
+struct AdamSnapshot {
+  std::uint64_t step_count = 0;
+  std::vector<nn::Tensor> m;  // first moments, parameter order
+  std::vector<nn::Tensor> v;  // second moments, parameter order
+};
+
+// Per-iteration training histories (core::TrainStats mirrors these).
+struct StatsSnapshot {
+  std::vector<double> d_loss;
+  std::vector<double> g_adv_loss;
+  std::vector<double> l1_loss;
+  std::vector<double> grad_norm_d;
+  std::vector<double> grad_norm_g;
+  std::vector<double> iter_seconds;
+};
+
+// Everything needed to continue a training run deterministically.
+struct TrainingSnapshot {
+  std::uint64_t iteration = 0;  // completed iterations at capture time
+  std::vector<nn::Tensor> gen_params;
+  std::vector<nn::Tensor> disc_params;
+  AdamSnapshot opt_g;
+  AdamSnapshot opt_d;
+  RngState rng;
+  StatsSnapshot stats;
+};
+
+// Canonical snapshot filename for an iteration count: "ckpt_<12-digit>.sgc"
+// (zero-padded so lexicographic order is iteration order).
+std::string checkpoint_filename(std::uint64_t iteration);
+
+// Atomically write `snap` into `dir` (created if missing), then prune to
+// the newest `keep_last` snapshots. Returns the final path. Throws
+// spectra::Error on I/O failure.
+std::string write_checkpoint(const std::string& dir, const TrainingSnapshot& snap, int keep_last);
+
+// Strict parse of one snapshot file; throws spectra::Error on missing
+// file, bad magic/version, truncation, or a checksum mismatch.
+TrainingSnapshot read_checkpoint(const std::string& path);
+
+// Snapshot paths in `dir`, ascending iteration order. Missing directory
+// is an empty list.
+std::vector<std::string> list_checkpoints(const std::string& dir);
+
+// Newest snapshot in `dir` that parses cleanly. Corrupt or truncated
+// files are skipped (logged + counted in `checkpoint.corrupt_skipped`)
+// and the next-older one is tried; nullopt when none is usable.
+std::optional<TrainingSnapshot> load_latest(const std::string& dir);
+
+}  // namespace spectra::train

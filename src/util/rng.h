@@ -13,6 +13,15 @@
 
 namespace spectra {
 
+// Complete serializable engine state: restoring it resumes the stream
+// exactly, including the Box-Muller cached second sample (without it a
+// resumed stream would skip or repeat one normal draw).
+struct RngState {
+  std::uint64_t state = 0;
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
@@ -52,6 +61,14 @@ class Rng {
 
   // Fisher-Yates shuffle of an index vector.
   void shuffle(std::vector<std::size_t>& indices);
+
+  // Snapshot / restore the full engine state (checkpoint/resume).
+  RngState state() const { return {state_, has_cached_normal_, cached_normal_}; }
+  void set_state(const RngState& s) {
+    state_ = s.state;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
 
  private:
   std::uint64_t state_;
