@@ -1,0 +1,248 @@
+// Kernel-level throughput bench (DESIGN.md §6c): GEMM / conv2d / LSTM
+// at the shapes the SpectraGAN trainer actually runs, each measured
+// against the pre-GEMM direct kernel so the speedup is computed within
+// one run on one machine. Emits BENCH_KERNELS.json (override with
+// SPECTRA_BENCH_OUT) — the seed point of the kernel perf trajectory; CI
+// re-runs this at reduced iterations and fails if any kernel's speedup
+// regresses >20% against the committed baseline
+// (scripts/check_bench_kernels.py).
+//
+// Knobs: SPECTRA_BENCH_ITERS (timed iterations per kernel, default 200),
+// SPECTRA_THREADS (kernels are measured at 1 thread — the single-thread
+// speedup is the contract; the parallel layer is bench_parallel_scaling's
+// subject).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/conv.h"
+#include "nn/gemm.h"
+#include "nn/init.h"
+#include "nn/lstm.h"
+#include "nn/ops.h"
+#include "util/env.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace spectra;
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  double flops_per_call = 0.0;
+  double seconds_ref = 0.0;
+  double seconds_new = 0.0;
+  double speedup() const { return seconds_new > 0.0 ? seconds_ref / seconds_new : 0.0; }
+  double gflops(double seconds) const {
+    return seconds > 0.0 ? flops_per_call / seconds * 1e-9 : 0.0;
+  }
+};
+
+long g_iters = 200;
+
+// Median-free simple protocol: warm up twice (populates workspace arenas
+// and caches), then average `g_iters` calls — kernels here are far above
+// timer resolution at trainer shapes.
+template <typename Fn>
+double time_kernel(Fn&& fn) {
+  fn();
+  fn();
+  Stopwatch watch;
+  for (long i = 0; i < g_iters; ++i) fn();
+  return watch.seconds() / static_cast<double>(g_iters);
+}
+
+// The pre-PR matmul kernel, verbatim: serial triple loop with the
+// zero-skip branch (src/nn/ops.cpp before the GEMM routing).
+void naive_matmul(long m, long k, long n, const float* pa, const float* pb, float* py) {
+  for (long i = 0; i < m * n; ++i) py[i] = 0.0f;
+  for (long i = 0; i < m; ++i) {
+    for (long p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* yrow = py + i * n;
+      for (long j = 0; j < n; ++j) yrow[j] += av * brow[j];
+    }
+  }
+}
+
+KernelResult bench_matmul(const std::string& name, long m, long k, long n) {
+  Rng rng(5);
+  const nn::Tensor a = nn::init::gaussian({m, k}, 1.0f, rng);
+  const nn::Tensor b = nn::init::gaussian({k, n}, 1.0f, rng);
+  nn::Tensor y({m, n});
+
+  KernelResult r;
+  r.name = name;
+  r.shape = "[" + std::to_string(m) + "x" + std::to_string(k) + "]*[" + std::to_string(k) + "x" +
+            std::to_string(n) + "]";
+  r.flops_per_call = 2.0 * static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+  r.seconds_ref = time_kernel([&] { naive_matmul(m, k, n, a.data(), b.data(), y.data()); });
+  r.seconds_new = time_kernel([&] {
+    nn::gemm::sgemm(nn::gemm::Trans::kNo, nn::gemm::Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+                    y.data(), n, /*accumulate=*/false);
+  });
+  return r;
+}
+
+KernelResult bench_conv_forward(const std::string& name, long N, long C, long H, long W, long O,
+                                long kernel, long stride, long padding) {
+  Rng rng(7);
+  const nn::Var x = nn::Var::constant(nn::init::gaussian({N, C, H, W}, 1.0f, rng));
+  const nn::Var w = nn::Var::constant(nn::init::gaussian({O, C, kernel, kernel}, 0.5f, rng));
+  const nn::Var b = nn::Var::constant(nn::init::gaussian({O}, 0.5f, rng));
+  const long Ho = nn::conv2d_out_extent(H, kernel, stride, padding);
+  const long Wo = nn::conv2d_out_extent(W, kernel, stride, padding);
+
+  KernelResult r;
+  r.name = name;
+  r.shape = "x[" + std::to_string(N) + "," + std::to_string(C) + "," + std::to_string(H) + "," +
+            std::to_string(W) + "] w[" + std::to_string(O) + "," + std::to_string(C) + "," +
+            std::to_string(kernel) + "," + std::to_string(kernel) + "] s" +
+            std::to_string(stride) + " p" + std::to_string(padding);
+  r.flops_per_call = 2.0 * N * O * C * kernel * kernel * Ho * Wo;
+  nn::InferenceGuard guard;  // forward only: no graph bookkeeping in the timing
+  nn::Conv2dSpec direct{.stride = stride, .padding = padding, .impl = nn::Conv2dImpl::kDirect};
+  nn::Conv2dSpec lowered{.stride = stride, .padding = padding, .impl = nn::Conv2dImpl::kIm2col};
+  r.seconds_ref = time_kernel([&] { nn::conv2d(x, w, b, direct); });
+  r.seconds_new = time_kernel([&] { nn::conv2d(x, w, b, lowered); });
+  return r;
+}
+
+KernelResult bench_conv_train_step(const std::string& name, long N, long C, long H, long W, long O,
+                                   long kernel, long stride, long padding) {
+  Rng rng(9);
+  nn::Var x = nn::Var::leaf(nn::init::gaussian({N, C, H, W}, 1.0f, rng));
+  nn::Var w = nn::Var::leaf(nn::init::gaussian({O, C, kernel, kernel}, 0.5f, rng));
+  nn::Var b = nn::Var::leaf(nn::init::gaussian({O}, 0.5f, rng));
+  const long Ho = nn::conv2d_out_extent(H, kernel, stride, padding);
+  const long Wo = nn::conv2d_out_extent(W, kernel, stride, padding);
+
+  KernelResult r;
+  r.name = name;
+  r.shape = "fwd+bwd x[" + std::to_string(N) + "," + std::to_string(C) + "," + std::to_string(H) +
+            "," + std::to_string(W) + "] w[" + std::to_string(O) + ",...," +
+            std::to_string(kernel) + "]";
+  // forward + dx + dw ≈ 3× the forward contraction.
+  r.flops_per_call = 3.0 * 2.0 * N * O * C * kernel * kernel * Ho * Wo;
+  auto run = [&](nn::Conv2dImpl impl) {
+    nn::Conv2dSpec spec{.stride = stride, .padding = padding, .impl = impl};
+    x.zero_grad(), w.zero_grad(), b.zero_grad();
+    nn::sum(nn::conv2d(x, w, b, spec)).backward();
+  };
+  r.seconds_ref = time_kernel([&] { run(nn::Conv2dImpl::kDirect); });
+  r.seconds_new = time_kernel([&] { run(nn::Conv2dImpl::kIm2col); });
+  return r;
+}
+
+KernelResult bench_lstm_train_step(const std::string& name, long T, long B, long in, long hidden,
+                                   long out) {
+  Rng model_rng(13);
+  nn::Lstm lstm(in, hidden, out, model_rng, nn::Activation::kNone);
+  Rng rng(15);
+  std::vector<nn::Var> inputs;
+  for (long t = 0; t < T; ++t) {
+    inputs.push_back(nn::Var::constant(nn::init::gaussian({B, in}, 1.0f, rng)));
+  }
+
+  KernelResult r;
+  r.name = name;
+  r.shape = "fwd+bwd T=" + std::to_string(T) + " B=" + std::to_string(B) +
+            " in=" + std::to_string(in) + " H=" + std::to_string(hidden) +
+            " out=" + std::to_string(out);
+  // forward + backward ≈ 3× the forward contraction flops.
+  r.flops_per_call = 3.0 * static_cast<double>(T) * 2.0 * B *
+                     (in * 4 * hidden + hidden * 4 * hidden + hidden * out);
+  auto accumulate_loss = [](const std::vector<nn::Var>& outputs) {
+    nn::Var loss = nn::sum(outputs.front());
+    for (std::size_t t = 1; t < outputs.size(); ++t) loss = nn::add(loss, nn::sum(outputs[t]));
+    return loss;
+  };
+  auto zero_params = [&] {
+    for (nn::Var& p : lstm.parameters()) p.zero_grad();
+  };
+  // Reference: the pre-batching training path — one input projection per
+  // step through the public single-step API, same per-step head.
+  r.seconds_ref = time_kernel([&] {
+    zero_params();
+    std::vector<nn::Var> outputs;
+    nn::LstmState state = lstm.cell().initial_state(B);
+    for (const nn::Var& x : inputs) {
+      state = lstm.cell().step(x, state);
+      outputs.push_back(lstm.head().forward(state.h));
+    }
+    accumulate_loss(outputs).backward();
+  });
+  r.seconds_new = time_kernel([&] {
+    zero_params();
+    accumulate_loss(lstm.forward(inputs)).backward();
+  });
+  return r;
+}
+
+void emit_json(const std::vector<KernelResult>& results, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SG_LOG_ERROR << "bench_kernels: cannot open " << path;
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"threads\": 1,\n  \"iters\": %ld,\n  \"kernels\": [\n",
+               g_iters);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", \"flops_per_call\": %.0f,\n"
+                 "     \"seconds_ref\": %.9f, \"seconds_new\": %.9f,\n"
+                 "     \"gflops_ref\": %.3f, \"gflops_new\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.flops_per_call, r.seconds_ref, r.seconds_new,
+                 r.gflops(r.seconds_ref), r.gflops(r.seconds_new), r.speedup(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  g_iters = env_long("SPECTRA_BENCH_ITERS", 200);
+  // Single-thread contract: the JSON records per-core kernel quality;
+  // thread scaling is bench_parallel_scaling's subject.
+  set_parallel_threads(1);
+
+  std::vector<KernelResult> results;
+  // matmul at trainer shapes: the batched LSTM input projection
+  // (T·B=1008 rows), the per-step hidden→gates product, and the
+  // spectrum/time discriminator MLP layer.
+  results.push_back(bench_matmul("matmul_lstm_xproj_batched", 1008, 28, 96));
+  results.push_back(bench_matmul("matmul_lstm_gate_h", 6, 24, 96));
+  results.push_back(bench_matmul("matmul_disc_mlp", 6, 128, 48));
+  results.push_back(bench_matmul("matmul_square_256", 256, 256, 256));
+  // conv2d at trainer shapes: encoder conv1/conv2 and the spectrum
+  // generator output conv (§2.2 geometry, default config).
+  results.push_back(bench_conv_forward("conv_fwd_encoder1", 6, 27, 8, 8, 24, 3, 1, 1));
+  results.push_back(bench_conv_forward("conv_fwd_encoder2_s2", 6, 24, 8, 8, 16, 3, 2, 1));
+  results.push_back(bench_conv_forward("conv_fwd_spectrum_out", 6, 32, 4, 4, 56, 3, 1, 1));
+  results.push_back(bench_conv_train_step("conv_train_encoder1", 6, 27, 8, 8, 24, 3, 1, 1));
+  // Full recurrent training step at G^t shape: batched vs per-step
+  // input projection.
+  results.push_back(bench_lstm_train_step("lstm_train_gt", 168, 6, 28, 24, 16));
+
+  std::printf("%-28s %-14s %-14s %-10s %-10s %s\n", "kernel", "ref s/call", "new s/call",
+              "ref GF/s", "new GF/s", "speedup");
+  for (const KernelResult& r : results) {
+    std::printf("%-28s %-14.3e %-14.3e %-10.2f %-10.2f %.2fx\n", r.name.c_str(), r.seconds_ref,
+                r.seconds_new, r.gflops(r.seconds_ref), r.gflops(r.seconds_new), r.speedup());
+  }
+
+  emit_json(results, env_string("SPECTRA_BENCH_OUT", "BENCH_KERNELS.json"));
+  set_parallel_threads(0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate kernel perf against the committed BENCH_KERNELS.json baseline.
+
+Compares *within-run speedup ratios* (new kernel vs the direct/naive
+reference measured in the same process on the same machine) rather than
+absolute GFLOP/s, so the gate is robust to CI runners of different
+speeds.  A kernel FAILS if its current speedup drops below
+MIN_RATIO x the committed baseline speedup (>20% relative regression)
+or if it disappears from the bench output.  Absolute GFLOP/s drops are
+reported as warnings only.
+
+Usage: check_bench_kernels.py <baseline.json> <current.json>
+"""
+
+import json
+import sys
+
+MIN_RATIO = 0.8
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {k["name"]: k for k in data["kernels"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+
+    failures = []
+    print(f"{'kernel':<28} {'base spdup':>10} {'cur spdup':>10} {'ratio':>7}  status")
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current bench output")
+            print(f"{name:<28} {base['speedup']:>10.2f} {'-':>10} {'-':>7}  MISSING")
+            continue
+        ratio = cur["speedup"] / base["speedup"] if base["speedup"] > 0 else float("inf")
+        ok = ratio >= MIN_RATIO
+        print(f"{name:<28} {base['speedup']:>10.2f} {cur['speedup']:>10.2f} "
+              f"{ratio:>7.2f}  {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.2f}x < {MIN_RATIO} x baseline "
+                f"{base['speedup']:.2f}x")
+        if cur["gflops_new"] < base["gflops_new"] * MIN_RATIO:
+            print(f"  warning: {name} absolute throughput {cur['gflops_new']:.2f} GF/s "
+                  f"vs baseline {base['gflops_new']:.2f} GF/s (machine-dependent; not gated)")
+
+    for name in current:
+        if name not in baseline:
+            print(f"  note: {name} not in baseline (new kernel; add it by regenerating "
+                  f"BENCH_KERNELS.json)")
+
+    if failures:
+        print("\nkernel perf regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nkernel perf regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

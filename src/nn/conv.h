@@ -1,7 +1,16 @@
 // Differentiable 2-D convolution (NCHW), the workhorse of the SpectraGAN
-// encoder and spectrum generator. Direct (non-im2col) kernels: model
-// feature maps here are tiny (≤ 16×16), so the simple loops are both
-// fast enough and easy to verify against finite differences.
+// encoder and spectrum generator.
+//
+// Two kernel implementations (DESIGN.md §6c):
+//   - im2col + GEMM lowering (the default for real model shapes): the
+//     input patch matrix is materialized into a reusable per-thread
+//     workspace and the contraction runs on the blocked GEMM kernel
+//     (nn/gemm.h); 1×1/stride-1/no-padding convs skip the copy and GEMM
+//     directly on the input planes.
+//   - direct loop nests, kept as the fallback for tiny shapes where the
+//     lowering's copy costs more than it saves, and as the reference
+//     implementation for equivalence tests.
+// Both are bitwise deterministic across thread counts.
 
 #pragma once
 
@@ -9,9 +18,15 @@
 
 namespace spectra::nn {
 
+// Kernel selection: kAuto picks the GEMM lowering unless the per-sample
+// contraction is tiny (see kDirectFlopThreshold in conv.cpp); the
+// explicit values force one implementation (tests, benches).
+enum class Conv2dImpl { kAuto, kDirect, kIm2col };
+
 struct Conv2dSpec {
   long stride = 1;
   long padding = 0;  // symmetric zero padding
+  Conv2dImpl impl = Conv2dImpl::kAuto;
 };
 
 // input  [N, C, H, W]

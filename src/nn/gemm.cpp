@@ -1,0 +1,191 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace spectra::nn::gemm {
+
+namespace {
+
+obs::Counter& grows_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("gemm.workspace_grows");
+  return c;
+}
+
+obs::Counter& calls_counter() {
+  static obs::Counter& c = obs::Registry::instance().counter("gemm.calls");
+  return c;
+}
+
+constexpr int kScratchSlots = 3;
+
+// Pack the (kc × nc) block of op(B) starting at (pc, jc) into kNR-wide
+// column panels: dst[panel jp][p][j] at offset (jp*kc + p)*kNR + j.
+// Columns beyond nc are zero-padded; the padded lanes feed accumulator
+// columns that are never written back.
+void pack_b(Trans tb, const float* b, long ldb, long pc, long jc, long kc, long nc, float* dst) {
+  const long panels = (nc + kNR - 1) / kNR;
+  for (long jp = 0; jp < panels; ++jp) {
+    const long j0 = jp * kNR;
+    const long jw = std::min(kNR, nc - j0);
+    float* panel = dst + jp * kc * kNR;
+    if (tb == Trans::kNo) {
+      // op(B)[p][j] = b[(pc+p)*ldb + jc+j]: copy row fragments.
+      for (long p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + j0;
+        float* out = panel + p * kNR;
+        for (long j = 0; j < jw; ++j) out[j] = src[j];
+        for (long j = jw; j < kNR; ++j) out[j] = 0.0f;
+      }
+    } else {
+      // op(B)[p][j] = b[(jc+j)*ldb + pc+p]: gather kNR source rows.
+      for (long p = 0; p < kc; ++p) {
+        float* out = panel + p * kNR;
+        for (long j = 0; j < kNR; ++j) {
+          out[j] = j < jw ? b[(jc + j0 + j) * ldb + pc + p] : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Register-tiled micro-kernel: acc[MR_][kNR] += op(A) rows × packed-B
+// panel over kc, then store or add `mr`×`nr` of it into C. Accumulation
+// per element is strictly p-ascending (separate multiply and add — never
+// contracted to FMA), independent of everything but the k blocking.
+//
+// The GCC/Clang path spells the j dimension as 4-lane vector values so
+// the accumulator provably lives in SIMD registers; left as a plain
+// 2-D float loop, GCC 12 vectorizes the *p* loop instead, transposing A
+// fragments through a wall of shufps with acc spilled to the stack
+// (~1.3× naive instead of >2×).
+#if defined(__GNUC__) || defined(__clang__)
+using Vf = float __attribute__((vector_size(16), aligned(4), may_alias));
+inline constexpr long kVL = 4;  // float lanes per vector
+static_assert(kNR % kVL == 0, "panel width must be a whole number of vectors");
+
+template <int MR_>
+void micro_kernel(long kc, const float* __restrict a, long a_row_stride, long a_col_stride,
+                  const float* __restrict bp, float* c, long ldc, long nr, bool add_to_c) {
+  constexpr int NV = static_cast<int>(kNR / kVL);
+  Vf acc[MR_][NV] = {};
+  for (long p = 0; p < kc; ++p) {
+    const Vf* brow = reinterpret_cast<const Vf*>(bp + p * kNR);
+    Vf bv[NV];
+    for (int v = 0; v < NV; ++v) bv[v] = brow[v];
+    for (int i = 0; i < MR_; ++i) {
+      const float av = a[i * a_row_stride + p * a_col_stride];
+      for (int v = 0; v < NV; ++v) acc[i][v] += av * bv[v];
+    }
+  }
+  for (int i = 0; i < MR_; ++i) {
+    float* crow = c + i * ldc;
+    if (nr == kNR) {
+      Vf* cv = reinterpret_cast<Vf*>(crow);
+      for (int v = 0; v < NV; ++v) cv[v] = add_to_c ? cv[v] + acc[i][v] : acc[i][v];
+    } else {
+      for (long j = 0; j < nr; ++j) {
+        const float val = acc[i][j / kVL][j % kVL];
+        crow[j] = add_to_c ? crow[j] + val : val;
+      }
+    }
+  }
+}
+#else
+template <int MR_>
+void micro_kernel(long kc, const float* a, long a_row_stride, long a_col_stride, const float* bp,
+                  float* c, long ldc, long nr, bool add_to_c) {
+  float acc[MR_][kNR] = {};
+  for (long p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNR;
+    for (int i = 0; i < MR_; ++i) {
+      const float av = a[i * a_row_stride + p * a_col_stride];
+      for (long j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (int i = 0; i < MR_; ++i) {
+    float* crow = c + i * ldc;
+    if (add_to_c) {
+      for (long j = 0; j < nr; ++j) crow[j] += acc[i][j];
+    } else {
+      for (long j = 0; j < nr; ++j) crow[j] = acc[i][j];
+    }
+  }
+}
+#endif
+
+using MicroFn = void (*)(long, const float*, long, long, const float*, float*, long, long, bool);
+
+constexpr MicroFn kMicroKernels[kMR] = {micro_kernel<1>, micro_kernel<2>, micro_kernel<3>,
+                                        micro_kernel<4>};
+
+}  // namespace
+
+float* scratch(int slot, std::size_t floats) {
+  SG_CHECK(slot >= 0 && slot < kScratchSlots, "gemm scratch slot out of range");
+  thread_local std::vector<float> arenas[kScratchSlots];
+  std::vector<float>& arena = arenas[slot];
+  if (arena.size() < floats) {
+    arena.resize(floats);
+    grows_counter().inc();
+    static obs::Gauge& bytes = obs::Registry::instance().gauge("gemm.workspace_bytes");
+    bytes.add(static_cast<double>(floats * sizeof(float)));
+  }
+  return arena.data();
+}
+
+void sgemm(Trans ta, Trans tb, long m, long n, long k, const float* a, long lda, const float* b,
+           long ldb, float* c, long ldc, bool accumulate) {
+  SG_CHECK(m >= 0 && n >= 0 && k >= 0, "sgemm negative extent");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      for (long i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    return;
+  }
+  calls_counter().inc();
+
+  const long a_row_stride = ta == Trans::kNo ? lda : 1;
+  const long a_col_stride = ta == Trans::kNo ? 1 : lda;
+
+  for (long jc = 0; jc < n; jc += kNC) {
+    const long nc = std::min(kNC, n - jc);
+    const long panels = (nc + kNR - 1) / kNR;
+    for (long pc = 0; pc < k; pc += kKC) {
+      const long kc = std::min(kKC, k - pc);
+      // One shared read-only packed block per (jc, pc); row panels below
+      // all read it, so it is packed once on the calling thread.
+      float* bp = scratch(0, static_cast<std::size_t>(panels * kc * kNR));
+      pack_b(tb, b, ldb, pc, jc, kc, nc, bp);
+
+      const bool add_to_c = accumulate || pc > 0;
+      const long row_panels = (m + kMR - 1) / kMR;
+      // Threads split only the M dimension; each row panel owns its C
+      // rows and runs the identical instruction sequence regardless of
+      // which thread executes it — bitwise deterministic.
+      parallel_for(static_cast<std::size_t>(row_panels), /*grain=*/1,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t rp = begin; rp < end; ++rp) {
+                       const long i0 = static_cast<long>(rp) * kMR;
+                       const long mr = std::min(kMR, m - i0);
+                       const float* abase = ta == Trans::kNo ? a + i0 * lda + pc
+                                                             : a + pc * lda + i0;
+                       const MicroFn kernel = kMicroKernels[mr - 1];
+                       for (long jp = 0; jp < panels; ++jp) {
+                         const long j0 = jp * kNR;
+                         const long nr = std::min(kNR, nc - j0);
+                         kernel(kc, abase, a_row_stride, a_col_stride, bp + jp * kc * kNR,
+                                c + i0 * ldc + jc + j0, ldc, nr, add_to_c);
+                       }
+                     }
+                   });
+    }
+  }
+}
+
+}  // namespace spectra::nn::gemm

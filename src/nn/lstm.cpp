@@ -24,10 +24,20 @@ LstmState LSTMCell::initial_state(long batch) const {
   return {Var::constant(Tensor({batch, hidden_size_})), Var::constant(Tensor({batch, hidden_size_}))};
 }
 
-LstmState LSTMCell::step(const Var& x, const LstmState& state) const {
+Var LSTMCell::project_input(const Var& x) const {
   SG_CHECK(x.value().rank() == 2 && x.value().dim(1) == input_size_,
-           "LSTMCell input must be [B, input_size]");
-  Var gates = add_rowvec(add(matmul(x, weight_x_), matmul(state.h, weight_h_)), bias_);
+           "LSTMCell input must be [*, input_size]");
+  return matmul(x, weight_x_);
+}
+
+LstmState LSTMCell::step(const Var& x, const LstmState& state) const {
+  return step_projected(project_input(x), state);
+}
+
+LstmState LSTMCell::step_projected(const Var& x_proj, const LstmState& state) const {
+  SG_CHECK(x_proj.value().rank() == 2 && x_proj.value().dim(1) == 4 * hidden_size_,
+           "LSTMCell projected input must be [B, 4*hidden]");
+  Var gates = add_rowvec(add(x_proj, matmul(state.h, weight_h_)), bias_);
   const long H = hidden_size_;
   Var i = sigmoid(slice_cols(gates, 0, H));
   Var f = sigmoid(slice_cols(gates, H, H));
@@ -49,11 +59,20 @@ Lstm::Lstm(long input_size, long hidden_size, long output_size, Rng& rng,
 
 std::vector<Var> Lstm::forward(const std::vector<Var>& inputs) const {
   SG_CHECK(!inputs.empty(), "Lstm::forward requires at least one step");
-  LstmState state = cell_.initial_state(inputs[0].value().dim(0));
+  const long batch = inputs[0].value().dim(0);
+  // Batch the input projection of the whole sequence into one [T·B, 4H]
+  // GEMM instead of T per-step matmuls; per-step slices keep autograd
+  // connectivity (concat/slice backward route the gradients back to each
+  // step's input).
+  Var all_steps = inputs.size() == 1 ? inputs[0] : concat_axis(inputs, /*axis=*/0);
+  Var all_proj = cell_.project_input(all_steps);
+  LstmState state = cell_.initial_state(batch);
   std::vector<Var> outputs;
   outputs.reserve(inputs.size());
-  for (const Var& x : inputs) {
-    state = cell_.step(x, state);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    SG_CHECK(inputs[t].value().dim(0) == batch, "Lstm::forward steps must share a batch size");
+    Var x_proj = slice_axis(all_proj, /*axis=*/0, static_cast<long>(t) * batch, batch);
+    state = cell_.step_projected(x_proj, state);
     outputs.push_back(apply_activation(head_.forward(state.h), output_activation_));
   }
   return outputs;
@@ -61,11 +80,14 @@ std::vector<Var> Lstm::forward(const std::vector<Var>& inputs) const {
 
 std::vector<Var> Lstm::forward_repeat(const Var& input, long steps) const {
   SG_CHECK(steps > 0, "forward_repeat requires steps > 0");
+  // The input is static across steps, so one projection serves all of
+  // them.
+  Var x_proj = cell_.project_input(input);
   LstmState state = cell_.initial_state(input.value().dim(0));
   std::vector<Var> outputs;
   outputs.reserve(static_cast<std::size_t>(steps));
   for (long t = 0; t < steps; ++t) {
-    state = cell_.step(input, state);
+    state = cell_.step_projected(x_proj, state);
     outputs.push_back(apply_activation(head_.forward(state.h), output_activation_));
   }
   return outputs;

@@ -29,6 +29,15 @@ class LSTMCell : public Module {
   // One step: x is [B, input_size]; returns the new state.
   LstmState step(const Var& x, const LstmState& state) const;
 
+  // Input projection x·Wx as one GEMM. `x` may batch several timesteps
+  // as [T·B, input_size]; slice the result per step and feed it to
+  // step_projected. Lstm::forward uses this to turn T small per-step
+  // matmuls into a single [T·B, 4H] product.
+  Var project_input(const Var& x) const;
+
+  // One step from a precomputed input projection ([B, 4*hidden]).
+  LstmState step_projected(const Var& x_proj, const LstmState& state) const;
+
   long input_size() const { return input_size_; }
   long hidden_size() const { return hidden_size_; }
 
@@ -55,6 +64,7 @@ class Lstm : public Module {
   std::vector<Var> forward_repeat(const Var& input, long steps) const;
 
   const LSTMCell& cell() const { return cell_; }
+  const Linear& head() const { return head_; }
 
  private:
   LSTMCell cell_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "nn/gemm.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace spectra::nn {
 
@@ -386,51 +388,27 @@ Var matmul(const Var& a, const Var& b) {
   const long m = xa.dim(0), k = xa.dim(1), k2 = xb.dim(0), n = xb.dim(1);
   SG_CHECK(k == k2, "matmul inner dimensions must agree");
 
+  // Forward and both backward products run on the blocked GEMM kernel
+  // (nn/gemm.h): full IEEE semantics (no zero-skip shortcuts, so
+  // NaN/Inf propagate), parallel over disjoint row panels.
   Tensor y({m, n});
-  {
-    const float* pa = xa.data();
-    const float* pb = xb.data();
-    float* py = y.data();
-    for (long i = 0; i < m; ++i) {
-      for (long p = 0; p < k; ++p) {
-        const float av = pa[i * k + p];
-        if (av == 0.0f) continue;
-        const float* brow = pb + p * n;
-        float* yrow = py + i * n;
-        for (long j = 0; j < n; ++j) yrow[j] += av * brow[j];
-      }
-    }
-  }
+  gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kNo, m, n, k, xa.data(), k, xb.data(), n, y.data(),
+              n, /*accumulate=*/false);
   return Var::make_op(std::move(y), {a, b},
                       [m, k, n](const Tensor& g, std::vector<Var>& parents) {
                         const Tensor& xa = parents[0].value();
                         const Tensor& xb = parents[1].value();
                         if (parents[0].requires_grad()) {
-                          // dA = G * B^T
+                          // dA += G · Bᵀ — NT variant, no transpose materialized.
                           Tensor& ga = parents[0].grad_storage();
-                          for (long i = 0; i < m; ++i) {
-                            for (long j = 0; j < n; ++j) {
-                              const float gv = g[i * n + j];
-                              if (gv == 0.0f) continue;
-                              const float* brow = xb.data() + j;  // column j, stride n
-                              float* garow = ga.data() + i * k;
-                              for (long p = 0; p < k; ++p) garow[p] += gv * brow[p * n];
-                            }
-                          }
+                          gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kTrans, m, k, n, g.data(), n,
+                                      xb.data(), n, ga.data(), k, /*accumulate=*/true);
                         }
                         if (parents[1].requires_grad()) {
-                          // dB = A^T * G
+                          // dB += Aᵀ · G — TN variant.
                           Tensor& gb = parents[1].grad_storage();
-                          for (long i = 0; i < m; ++i) {
-                            const float* arow = xa.data() + i * k;
-                            const float* grow = g.data() + i * n;
-                            for (long p = 0; p < k; ++p) {
-                              const float av = arow[p];
-                              if (av == 0.0f) continue;
-                              float* gbrow = gb.data() + p * n;
-                              for (long j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-                            }
-                          }
+                          gemm::sgemm(gemm::Trans::kTrans, gemm::Trans::kNo, k, n, m, xa.data(), k,
+                                      g.data(), n, gb.data(), n, /*accumulate=*/true);
                         }
                       });
 }
@@ -449,10 +427,21 @@ Var add_rowvec(const Var& a, const Var& bias) {
                       [m, n](const Tensor& g, std::vector<Var>& parents) {
                         if (parents[0].requires_grad()) parents[0].grad_storage().add_(g);
                         if (parents[1].requires_grad()) {
+                          // Column reduction parallelized over disjoint
+                          // column slices; per-column order stays
+                          // i-ascending, matching the serial code.
                           Tensor& gb = parents[1].grad_storage();
-                          for (long i = 0; i < m; ++i) {
-                            for (long j = 0; j < n; ++j) gb[j] += g[i * n + j];
-                          }
+                          float* pgb = gb.data();
+                          const float* pg = g.data();
+                          parallel_for(static_cast<std::size_t>(n), /*grain=*/16,
+                                       [&](std::size_t jb, std::size_t je) {
+                                         for (long i = 0; i < m; ++i) {
+                                           const float* grow = pg + i * n;
+                                           for (std::size_t j = jb; j < je; ++j) {
+                                             pgb[j] += grow[j];
+                                           }
+                                         }
+                                       });
                         }
                       });
 }

@@ -18,6 +18,7 @@
 #include "geo/patching.h"
 #include "nn/conv.h"
 #include "nn/init.h"
+#include "nn/lstm.h"
 #include "nn/ops.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -67,6 +68,93 @@ TEST(ParallelDeterminismTest, Conv2dBitwiseIdenticalAcrossThreadCounts) {
   expect_bitwise_equal(serial.gx, parallel.gx, "conv2d grad input");
   expect_bitwise_equal(serial.gw, parallel.gw, "conv2d grad weight");
   expect_bitwise_equal(serial.gb, parallel.gb, "conv2d grad bias");
+}
+
+// The GEMM-lowered conv path: samples and row panels move between
+// threads, outputs must not.
+ConvRun run_conv_gemm(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  Rng rng(124);
+  nn::Var x = nn::Var::leaf(nn::init::gaussian({3, 4, 8, 8}, 1.0f, rng));
+  nn::Var w = nn::Var::leaf(nn::init::gaussian({6, 4, 3, 3}, 0.5f, rng));
+  nn::Var b = nn::Var::leaf(nn::init::gaussian({6}, 0.5f, rng));
+  nn::Conv2dSpec spec{.stride = 1, .padding = 1, .impl = nn::Conv2dImpl::kIm2col};
+  nn::Var y = nn::conv2d(x, w, b, spec);
+  nn::sum(y).backward();
+  return {y.value(), x.grad(), w.grad(), b.grad()};
+}
+
+TEST(ParallelDeterminismTest, Im2colConvBitwiseIdenticalAcrossThreadCounts) {
+  const ConvRun serial = run_conv_gemm(1);
+  const ConvRun parallel = run_conv_gemm(8);
+  expect_bitwise_equal(serial.y, parallel.y, "im2col conv forward");
+  expect_bitwise_equal(serial.gx, parallel.gx, "im2col conv grad input");
+  expect_bitwise_equal(serial.gw, parallel.gw, "im2col conv grad weight");
+  expect_bitwise_equal(serial.gb, parallel.gb, "im2col conv grad bias");
+}
+
+// matmul and both backward GEMM products (NT/TN) plus the add_rowvec
+// column-sliced bias reduction, across thread counts.
+struct LinearRun {
+  nn::Tensor y, gx, gw, gb;
+};
+
+LinearRun run_linear(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  Rng rng(67);
+  nn::Var x = nn::Var::leaf(nn::init::gaussian({37, 29}, 1.0f, rng));
+  nn::Var w = nn::Var::leaf(nn::init::gaussian({29, 43}, 1.0f, rng));
+  nn::Var b = nn::Var::leaf(nn::init::gaussian({43}, 1.0f, rng));
+  nn::Var y = nn::linear(x, w, b);
+  nn::sum(y).backward();
+  return {y.value(), x.grad(), w.grad(), b.grad()};
+}
+
+TEST(ParallelDeterminismTest, LinearBitwiseIdenticalAcrossThreadCounts) {
+  const LinearRun serial = run_linear(1);
+  const LinearRun parallel = run_linear(8);
+  expect_bitwise_equal(serial.y, parallel.y, "linear forward");
+  expect_bitwise_equal(serial.gx, parallel.gx, "linear grad input (NT gemm)");
+  expect_bitwise_equal(serial.gw, parallel.gw, "linear grad weight (TN gemm)");
+  expect_bitwise_equal(serial.gb, parallel.gb, "linear grad bias (column slices)");
+}
+
+// The batched LSTM projection: one [T·B, 4H] GEMM feeding sliced steps.
+struct LstmRun {
+  std::vector<nn::Tensor> outputs;
+  std::vector<nn::Tensor> param_grads;
+};
+
+LstmRun run_lstm(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  Rng model_rng(91);
+  nn::Lstm lstm(7, 6, 3, model_rng, nn::Activation::kTanh);
+  Rng rng(92);
+  std::vector<nn::Var> inputs;
+  for (long t = 0; t < 6; ++t) {
+    inputs.push_back(nn::Var::leaf(nn::init::gaussian({4, 7}, 1.0f, rng)));
+  }
+  const std::vector<nn::Var> outs = lstm.forward(inputs);
+  nn::Var total = nn::sum(outs[0]);
+  for (std::size_t t = 1; t < outs.size(); ++t) total = nn::add(total, nn::sum(outs[t]));
+  total.backward();
+  LstmRun run;
+  for (const nn::Var& o : outs) run.outputs.push_back(o.value());
+  for (const nn::Var& p : lstm.parameters()) run.param_grads.push_back(p.grad());
+  return run;
+}
+
+TEST(ParallelDeterminismTest, BatchedLstmBitwiseIdenticalAcrossThreadCounts) {
+  const LstmRun serial = run_lstm(1);
+  const LstmRun parallel = run_lstm(8);
+  ASSERT_EQ(serial.outputs.size(), parallel.outputs.size());
+  for (std::size_t t = 0; t < serial.outputs.size(); ++t) {
+    expect_bitwise_equal(serial.outputs[t], parallel.outputs[t], "lstm output");
+  }
+  ASSERT_EQ(serial.param_grads.size(), parallel.param_grads.size());
+  for (std::size_t i = 0; i < serial.param_grads.size(); ++i) {
+    expect_bitwise_equal(serial.param_grads[i], parallel.param_grads[i], "lstm param grad");
+  }
 }
 
 struct BridgeRun {
