@@ -47,12 +47,13 @@ void report() {
   for (long k : {2L, 3L, 4L}) {
     for (double noise : {0.0, 0.02, 0.1}) {
       const long base_t = 168;
-      Rng rng(static_cast<std::uint64_t>(k * 100 + noise * 1000));
+      Rng rng(static_cast<std::uint64_t>(k * 100 + static_cast<long>(noise * 1000)));
       // True long signal: deterministic harmonics + iid noise.
       std::vector<double> long_signal(static_cast<std::size_t>(k * base_t));
       for (long t = 0; t < k * base_t; ++t) {
         long_signal[static_cast<std::size_t>(t)] =
-            1.0 + 0.7 * std::cos(2.0 * M_PI * t / 24.0) + 0.2 * std::cos(2.0 * M_PI * t / 168.0) +
+            1.0 + 0.7 * std::cos(2.0 * M_PI * static_cast<double>(t) / 24.0) +
+            0.2 * std::cos(2.0 * M_PI * static_cast<double>(t) / 168.0) +
             noise * rng.normal();
       }
       const std::vector<double> base(long_signal.begin(), long_signal.begin() + base_t);

@@ -121,9 +121,10 @@ void report() {
     }
   }
   CsvWriter fig1ef({"quantity", "value"});
-  fig1ef.add_row({"mean pixel traffic", CsvWriter::num(signal_mean / counted)});
-  fig1ef.add_row({"top-5 reconstruction MAE", CsvWriter::num(recon_mae / counted)});
-  fig1ef.add_row({"residual std (Fig. 1f)", CsvWriter::num(residual_std / counted)});
+  const double fcounted = static_cast<double>(counted);
+  fig1ef.add_row({"mean pixel traffic", CsvWriter::num(signal_mean / fcounted)});
+  fig1ef.add_row({"top-5 reconstruction MAE", CsvWriter::num(recon_mae / fcounted)});
+  fig1ef.add_row({"residual std (Fig. 1f)", CsvWriter::num(residual_std / fcounted)});
   fig1ef.add_row(
       {"relative reconstruction error", CsvWriter::num(recon_mae / signal_mean)});
   eval::emit_table(fig1ef, "Fig. 1e/1f — top-5 component reconstruction & residual",

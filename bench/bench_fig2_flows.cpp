@@ -76,7 +76,7 @@ void report() {
       }
     }
     table.add_row({city.name, trail,
-                   CsvWriter::num(static_cast<double>(disagree) / pairs, 3)});
+                   CsvWriter::num(static_cast<double>(disagree) / static_cast<double>(pairs), 3)});
   }
   eval::emit_table(table, "Fig. 2 — peak-traffic flows across neighbouring regions",
                    "fig2_flows.csv");

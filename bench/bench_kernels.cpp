@@ -107,7 +107,7 @@ KernelResult bench_conv_forward(const std::string& name, long N, long C, long H,
             std::to_string(W) + "] w[" + std::to_string(O) + "," + std::to_string(C) + "," +
             std::to_string(kernel) + "," + std::to_string(kernel) + "] s" +
             std::to_string(stride) + " p" + std::to_string(padding);
-  r.flops_per_call = 2.0 * N * O * C * kernel * kernel * Ho * Wo;
+  r.flops_per_call = 2.0 * static_cast<double>(N * O * C * kernel * kernel * Ho * Wo);
   nn::InferenceGuard guard;  // forward only: no graph bookkeeping in the timing
   nn::Conv2dSpec direct{.stride = stride, .padding = padding, .impl = nn::Conv2dImpl::kDirect};
   nn::Conv2dSpec lowered{.stride = stride, .padding = padding, .impl = nn::Conv2dImpl::kIm2col};
@@ -131,7 +131,7 @@ KernelResult bench_conv_train_step(const std::string& name, long N, long C, long
             "," + std::to_string(W) + "] w[" + std::to_string(O) + ",...," +
             std::to_string(kernel) + "]";
   // forward + dx + dw ≈ 3× the forward contraction.
-  r.flops_per_call = 3.0 * 2.0 * N * O * C * kernel * kernel * Ho * Wo;
+  r.flops_per_call = 3.0 * 2.0 * static_cast<double>(N * O * C * kernel * kernel * Ho * Wo);
   auto run = [&](nn::Conv2dImpl impl) {
     nn::Conv2dSpec spec{.stride = stride, .padding = padding, .impl = impl};
     x.zero_grad(), w.zero_grad(), b.zero_grad();
@@ -158,8 +158,8 @@ KernelResult bench_lstm_train_step(const std::string& name, long T, long B, long
             " in=" + std::to_string(in) + " H=" + std::to_string(hidden) +
             " out=" + std::to_string(out);
   // forward + backward ≈ 3× the forward contraction flops.
-  r.flops_per_call = 3.0 * static_cast<double>(T) * 2.0 * B *
-                     (in * 4 * hidden + hidden * 4 * hidden + hidden * out);
+  r.flops_per_call = 3.0 * static_cast<double>(T) * 2.0 *
+                     static_cast<double>(B * (in * 4 * hidden + hidden * 4 * hidden + hidden * out));
   auto accumulate_loss = [](const std::vector<nn::Var>& outputs) {
     nn::Var loss = nn::sum(outputs.front());
     for (std::size_t t = 1; t < outputs.size(); ++t) loss = nn::add(loss, nn::sum(outputs[t]));

@@ -78,7 +78,7 @@ void report() {
       std::vector<double> values = city.traffic.values();
       std::sort(values.begin(), values.end());
       auto q = [&values](double p) {
-        return values[static_cast<std::size_t>(p * (values.size() - 1))];
+        return values[static_cast<std::size_t>(p * static_cast<double>(values.size() - 1))];
       };
       fig12.add_row({city.name, CsvWriter::num(q(0.10), 5), CsvWriter::num(q(0.25), 5),
                      CsvWriter::num(q(0.50), 5), CsvWriter::num(q(0.75), 5),

@@ -32,7 +32,7 @@ void print_summary(const geo::CityTensor& t) {
   std::vector<double> values = t.values();
   std::sort(values.begin(), values.end());
   auto q = [&values](double p) {
-    return values[static_cast<std::size_t>(p * (values.size() - 1))];
+    return values[static_cast<std::size_t>(p * static_cast<double>(values.size() - 1))];
   };
   CsvWriter table({"quantity", "value"});
   table.add_row({"steps", std::to_string(t.steps())});

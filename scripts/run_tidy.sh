@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# run_tidy.sh — run the curated clang-tidy profile (.clang-tidy) over the
+# project and diff normalized findings against the committed baseline.
+#
+# Usage:
+#   scripts/run_tidy.sh [--build-dir DIR] [--update] [--jobs N]
+#
+#   --build-dir DIR  build tree holding compile_commands.json
+#                    (default: build; configured automatically if missing)
+#   --update         rewrite scripts/lint/clang_tidy_baseline.txt from the
+#                    current findings instead of failing on drift
+#   --jobs N         parallel clang-tidy processes (default: nproc)
+#
+# Exit status: 0 clean-vs-baseline (or clang-tidy unavailable: the run is
+# skipped with a notice so local machines without LLVM don't block — CI
+# installs clang-tidy and enforces), 1 findings above baseline.
+#
+# Findings are normalized to "<repo-relative-path> [check-name]" — line
+# numbers are dropped so unrelated edits don't churn the baseline file.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+BASELINE="$ROOT/scripts/lint/clang_tidy_baseline.txt"
+UPDATE=0
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --update)    UPDATE=1; shift ;;
+    --jobs)      JOBS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy: $TIDY not found — skipping (CI's static-analysis job enforces this gate)"
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy: configuring $BUILD_DIR to export compile_commands.json"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(cd "$ROOT" && git ls-files \
+  'src/**/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_tidy: no source files found" >&2
+  exit 2
+fi
+
+RAW="$(mktemp)"
+CURRENT="$(mktemp)"
+trap 'rm -f "$RAW" "$CURRENT"' EXIT
+
+echo "run_tidy: $TIDY over ${#FILES[@]} files with $JOBS jobs"
+# -Wno-unknown-warning-option: the compile database may carry GCC-only
+# flags from a hardened configure; clang must not warn about them.
+# xargs exit status 123 means "some invocation failed" — tolerated, since
+# findings are counted from the log, but any other failure is fatal.
+(cd "$ROOT" && printf '%s\n' "${FILES[@]}" \
+  | xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet \
+      --extra-arg=-Wno-unknown-warning-option) >"$RAW" 2>/dev/null || {
+  status=$?
+  if [[ $status -ne 123 ]]; then
+    echo "run_tidy: clang-tidy invocation failed (exit $status)" >&2
+    exit 2
+  fi
+}
+
+# "path:line:col: warning: msg [check]" -> "repo-relative-path [check]"
+sed -nE 's|^('"$ROOT"'/)?([^: ]+):[0-9]+:[0-9]+: warning: .* (\[[a-z0-9.,-]+\])$|\2 \3|p' \
+  "$RAW" | sort -u >"$CURRENT"
+
+if [[ $UPDATE -eq 1 ]]; then
+  { grep '^#' "$BASELINE"; cat "$CURRENT"; } >"$BASELINE.tmp"
+  mv "$BASELINE.tmp" "$BASELINE"
+  echo "run_tidy: baseline rewritten with $(wc -l <"$CURRENT") finding(s)"
+  exit 0
+fi
+
+ACCEPTED="$(grep -v -e '^#' -e '^[[:space:]]*$' "$BASELINE" | sort -u || true)"
+NEW="$(comm -13 <(printf '%s\n' "$ACCEPTED") "$CURRENT" | sed '/^$/d' || true)"
+FIXED="$(comm -23 <(printf '%s\n' "$ACCEPTED") "$CURRENT" | sed '/^$/d' || true)"
+
+echo "run_tidy: $(wc -l <"$CURRENT") finding(s) total, baseline $(printf '%s' "$ACCEPTED" | grep -c . || true) entr(ies)"
+if [[ -n "$FIXED" ]]; then
+  echo "run_tidy: stale baseline entries (fixed — remove via --update):"
+  printf '%s\n' "$FIXED" | sed 's/^/  /'
+fi
+if [[ -n "$NEW" ]]; then
+  echo "run_tidy: NEW findings above baseline:"
+  printf '%s\n' "$NEW" | sed 's/^/  /'
+  echo "run_tidy: fix them, or add to $BASELINE with justification" >&2
+  exit 1
+fi
+echo "run_tidy: clean versus baseline"

@@ -76,8 +76,7 @@ std::vector<long> partition_rus(const geo::GridMap& load, long num_cus) {
       // first unassigned pixel to the least-loaded region directly.
       long p = 0;
       while (assignment[static_cast<std::size_t>(p)] != -1) ++p;
-      long c = static_cast<long>(std::min_element(region_load.begin(), region_load.end()) -
-                                 region_load.begin());
+      long c = std::min_element(region_load.begin(), region_load.end()) - region_load.begin();
       assignment[static_cast<std::size_t>(p)] = c;
       region_load[static_cast<std::size_t>(c)] += load[p];
       frontier[static_cast<std::size_t>(c)].push_back(p);

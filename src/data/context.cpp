@@ -94,7 +94,8 @@ geo::GridMap gaussian_blobs(long h, long w, long count, double sigma_lo, double 
     const double amp = rng.uniform(0.55, 1.0);
     for (long i = 0; i < h; ++i) {
       for (long j = 0; j < w; ++j) {
-        const double d2 = (i - ci) * (i - ci) + (j - cj) * (j - cj);
+        const double fi = static_cast<double>(i), fj = static_cast<double>(j);
+        const double d2 = (fi - ci) * (fi - ci) + (fj - cj) * (fj - cj);
         out.at(i, j) += amp * std::exp(-d2 / (2.0 * sigma * sigma));
       }
     }
@@ -109,15 +110,17 @@ geo::GridMap road_lines(long h, long w, long count, double width_px, Rng& rng) {
   geo::GridMap out(h, w);
   for (long r = 0; r < count; ++r) {
     // Random line through a random interior point at a random angle.
-    const double pi0 = rng.uniform(0.15 * h, 0.85 * h);
-    const double pj0 = rng.uniform(0.15 * w, 0.85 * w);
+    const double fh = static_cast<double>(h), fw = static_cast<double>(w);
+    const double pi0 = rng.uniform(0.15 * fh, 0.85 * fh);
+    const double pj0 = rng.uniform(0.15 * fw, 0.85 * fw);
     const double angle = rng.uniform(0.0, M_PI);
     const double di = std::sin(angle);
     const double dj = std::cos(angle);
     for (long i = 0; i < h; ++i) {
       for (long j = 0; j < w; ++j) {
         // Perpendicular distance from (i,j) to the line.
-        const double dist = std::fabs((i - pi0) * dj - (j - pj0) * di);
+        const double dist =
+            std::fabs((static_cast<double>(i) - pi0) * dj - (static_cast<double>(j) - pj0) * di);
         out.at(i, j) += std::exp(-dist * dist / (2.0 * width_px * width_px));
       }
     }
@@ -141,9 +144,9 @@ LatentFields sample_latent_fields(long height, long width, Rng& rng) {
 
   // Urban core: 1 main center + 1-3 subcenters, plus low-frequency texture.
   const long subcenters = 1 + static_cast<long>(rng.uniform_index(3));
-  geo::GridMap cores = gaussian_blobs(height, width, 1 + subcenters,
-                                      0.12 * std::min(height, width), 0.28 * std::min(height, width),
-                                      0.2 * std::min(height, width), rng);
+  const double min_dim = static_cast<double>(std::min(height, width));
+  geo::GridMap cores = gaussian_blobs(height, width, 1 + subcenters, 0.12 * min_dim,
+                                      0.28 * min_dim, 0.2 * min_dim, rng);
   geo::GridMap texture = smooth_noise(height, width, std::max<long>(3, height / 5), rng);
   for (long p = 0; p < cores.size(); ++p) {
     f.urban[p] = std::clamp(0.8 * cores[p] + 0.25 * texture[p], 0.0, 1.0);
@@ -151,8 +154,7 @@ LatentFields sample_latent_fields(long height, long width, Rng& rng) {
 
   // Industrial districts: blobs offset from the core (industry sits at the
   // urban fringe), masked away from the deepest center.
-  geo::GridMap ind = gaussian_blobs(height, width, 2, 0.08 * std::min(height, width),
-                                    0.16 * std::min(height, width), 1.0, rng);
+  geo::GridMap ind = gaussian_blobs(height, width, 2, 0.08 * min_dim, 0.16 * min_dim, 1.0, rng);
   for (long p = 0; p < ind.size(); ++p) {
     f.industrial[p] = ind[p] * (1.0 - 0.6 * smoothstep(f.urban[p], 0.75, 0.95));
   }
@@ -169,12 +171,13 @@ LatentFields sample_latent_fields(long height, long width, Rng& rng) {
     const double extent = rng.uniform(0.12, 0.28);
     for (long i = 0; i < height; ++i) {
       for (long j = 0; j < width; ++j) {
+        const double fh = static_cast<double>(height), fw = static_cast<double>(width);
         double coast = 0.0;
         switch (side) {
-          case 0: coast = static_cast<double>(i) / height; break;
-          case 1: coast = 1.0 - static_cast<double>(i) / height; break;
-          case 2: coast = static_cast<double>(j) / width; break;
-          default: coast = 1.0 - static_cast<double>(j) / width; break;
+          case 0: coast = static_cast<double>(i) / fh; break;
+          case 1: coast = 1.0 - static_cast<double>(i) / fh; break;
+          case 2: coast = static_cast<double>(j) / fw; break;
+          default: coast = 1.0 - static_cast<double>(j) / fw; break;
         }
         f.sea.at(i, j) = coast < extent ? 1.0 : 0.0;
       }
@@ -276,8 +279,9 @@ geo::ContextTensor derive_context(const LatentFields& f, Rng& rng) {
   }
 
   for (long c = 0; c < kNumContextChannels; ++c) {
-    normalize_channel(channels[c]);
-    for (long p = 0; p < h * w; ++p) context.at(c, p / w, p % w) = channels[c][p];
+    geo::GridMap& channel = channels[static_cast<std::size_t>(c)];
+    normalize_channel(channel);
+    for (long p = 0; p < h * w; ++p) context.at(c, p / w, p % w) = channel[p];
   }
   return context;
 }

@@ -24,8 +24,10 @@ struct CityPlan {
 
 City build(const CityPlan& plan, const DatasetConfig& config, const TrafficProcessParams& params,
            Rng& rng) {
-  const long h = std::max<long>(12, static_cast<long>(std::lround(plan.height * config.size_scale)));
-  const long w = std::max<long>(12, static_cast<long>(std::lround(plan.width * config.size_scale)));
+  const long h =
+      std::max<long>(12, std::lround(static_cast<double>(plan.height) * config.size_scale));
+  const long w =
+      std::max<long>(12, std::lround(static_cast<double>(plan.width) * config.size_scale));
   return make_city(plan.name, h, w, config.weeks, config.minutes_per_step, params, rng);
 }
 

@@ -28,7 +28,7 @@ double CityTensor::at(long t, long row, long col) const {
 
 GridMap CityTensor::frame(long t) const {
   SG_CHECK(t >= 0 && t < steps_, "frame index out of bounds");
-  const auto begin = values_.begin() + static_cast<std::ptrdiff_t>(t * frame_size());
+  const auto begin = values_.begin() + t * frame_size();
   return GridMap(height_, width_, std::vector<double>(begin, begin + frame_size()));
 }
 
@@ -36,7 +36,7 @@ void CityTensor::set_frame(long t, const GridMap& frame) {
   SG_CHECK(t >= 0 && t < steps_, "frame index out of bounds");
   SG_CHECK(frame.height() == height_ && frame.width() == width_, "set_frame shape mismatch");
   std::copy(frame.values().begin(), frame.values().end(),
-            values_.begin() + static_cast<std::ptrdiff_t>(t * frame_size()));
+            values_.begin() + t * frame_size());
 }
 
 GridMap CityTensor::time_average() const {
@@ -74,8 +74,8 @@ std::vector<double> CityTensor::pixel_series(long row, long col) const {
 CityTensor CityTensor::slice_time(long start, long len) const {
   SG_CHECK(start >= 0 && len >= 0 && start + len <= steps_, "slice_time out of range");
   CityTensor out(len, height_, width_);
-  std::copy(values_.begin() + static_cast<std::ptrdiff_t>(start * frame_size()),
-            values_.begin() + static_cast<std::ptrdiff_t>((start + len) * frame_size()),
+  std::copy(values_.begin() + start * frame_size(),
+            values_.begin() + (start + len) * frame_size(),
             out.values_.begin());
   return out;
 }

@@ -30,7 +30,9 @@ std::vector<double> pool_frame(const geo::CityTensor& tensor, long t) {
   }
   std::vector<double> out(5);
   out[0] = total / static_cast<double>(h * w);
-  for (int q = 0; q < 4; ++q) out[static_cast<std::size_t>(1 + q)] = quad[q] / std::max<long>(quad_n[q], 1);
+  for (int q = 0; q < 4; ++q)
+    out[static_cast<std::size_t>(1 + q)] =
+        quad[q] / static_cast<double>(std::max<long>(quad_n[q], 1));
   return out;
 }
 

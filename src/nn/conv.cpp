@@ -308,8 +308,8 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
 
   return Var::make_op(
       std::move(y), {input, weight, bias}, [g, use_gemm](const Tensor& grad, std::vector<Var>& parents) {
-        const Tensor& x = parents[0].value();
-        const Tensor& w = parents[1].value();
+        const Tensor& px = parents[0].value();
+        const Tensor& pw = parents[1].value();
         const bool need_dx = parents[0].requires_grad();
         const bool need_dw = parents[1].requires_grad();
         const bool need_db = parents[2].requires_grad();
@@ -339,18 +339,18 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
         if (need_dx) {
           float* pgx = parents[0].grad_storage().data();
           if (use_gemm) {
-            backward_gemm_dx(g, grad.data(), w.data(), pgx);
+            backward_gemm_dx(g, grad.data(), pw.data(), pgx);
           } else {
-            backward_direct_dx(g, grad.data(), w.data(), pgx);
+            backward_direct_dx(g, grad.data(), pw.data(), pgx);
           }
         }
 
         if (need_dw) {
           float* pgw = parents[1].grad_storage().data();
           if (use_gemm) {
-            backward_gemm_dw(g, grad.data(), x.data(), pgw);
+            backward_gemm_dw(g, grad.data(), px.data(), pgw);
           } else {
-            backward_direct_dw(g, grad.data(), x.data(), pgw);
+            backward_direct_dw(g, grad.data(), px.data(), pgw);
           }
         }
       });

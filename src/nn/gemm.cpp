@@ -72,7 +72,7 @@ template <int MR_>
 void micro_kernel(long kc, const float* __restrict a, long a_row_stride, long a_col_stride,
                   const float* __restrict bp, float* c, long ldc, long nr, bool add_to_c) {
   constexpr int NV = static_cast<int>(kNR / kVL);
-  Vf acc[MR_][NV] = {};
+  Vf acc[static_cast<std::size_t>(MR_)][static_cast<std::size_t>(NV)] = {};
   for (long p = 0; p < kc; ++p) {
     const Vf* brow = reinterpret_cast<const Vf*>(bp + p * kNR);
     Vf bv[NV];
@@ -99,7 +99,7 @@ void micro_kernel(long kc, const float* __restrict a, long a_row_stride, long a_
 template <int MR_>
 void micro_kernel(long kc, const float* a, long a_row_stride, long a_col_stride, const float* bp,
                   float* c, long ldc, long nr, bool add_to_c) {
-  float acc[MR_][kNR] = {};
+  float acc[static_cast<std::size_t>(MR_)][static_cast<std::size_t>(kNR)] = {};
   for (long p = 0; p < kc; ++p) {
     const float* brow = bp + p * kNR;
     for (int i = 0; i < MR_; ++i) {

@@ -28,10 +28,10 @@ Var unary_op(const Var& a, Fwd f, Dfn df) {
   return Var::make_op(std::move(y), {a},
                       [df, y_copy](const Tensor& out_grad, std::vector<Var>& parents) {
                         if (!parents[0].requires_grad()) return;
-                        const Tensor& x = parents[0].value();
+                        const Tensor& px = parents[0].value();
                         Tensor& gx = parents[0].grad_storage();
-                        const long n = x.numel();
-                        for (long i = 0; i < n; ++i) gx[i] += out_grad[i] * df(x[i], y_copy[i]);
+                        const long pn = px.numel();
+                        for (long i = 0; i < pn; ++i) gx[i] += out_grad[i] * df(px[i], y_copy[i]);
                       });
 }
 
@@ -59,8 +59,8 @@ Var sub(const Var& a, const Var& b) {
     if (parents[0].requires_grad()) parents[0].grad_storage().add_(g);
     if (parents[1].requires_grad()) {
       Tensor& gb = parents[1].grad_storage();
-      const long n = g.numel();
-      for (long i = 0; i < n; ++i) gb[i] -= g[i];
+      const long gn = g.numel();
+      for (long i = 0; i < gn; ++i) gb[i] -= g[i];
     }
   });
 }
@@ -73,16 +73,16 @@ Var mul(const Var& a, const Var& b) {
   const long n = xa.numel();
   for (long i = 0; i < n; ++i) y[i] = xa[i] * xb[i];
   return Var::make_op(std::move(y), {a, b}, [](const Tensor& g, std::vector<Var>& parents) {
-    const Tensor& xa = parents[0].value();
-    const Tensor& xb = parents[1].value();
-    const long n = g.numel();
+    const Tensor& pa = parents[0].value();
+    const Tensor& pb = parents[1].value();
+    const long gn = g.numel();
     if (parents[0].requires_grad()) {
       Tensor& ga = parents[0].grad_storage();
-      for (long i = 0; i < n; ++i) ga[i] += g[i] * xb[i];
+      for (long i = 0; i < gn; ++i) ga[i] += g[i] * pb[i];
     }
     if (parents[1].requires_grad()) {
       Tensor& gb = parents[1].grad_storage();
-      for (long i = 0; i < n; ++i) gb[i] += g[i] * xa[i];
+      for (long i = 0; i < gn; ++i) gb[i] += g[i] * pa[i];
     }
   });
 }
@@ -95,16 +95,16 @@ Var divide(const Var& a, const Var& b) {
   const long n = xa.numel();
   for (long i = 0; i < n; ++i) y[i] = xa[i] / xb[i];
   return Var::make_op(std::move(y), {a, b}, [](const Tensor& g, std::vector<Var>& parents) {
-    const Tensor& xa = parents[0].value();
-    const Tensor& xb = parents[1].value();
-    const long n = g.numel();
+    const Tensor& pa = parents[0].value();
+    const Tensor& pb = parents[1].value();
+    const long gn = g.numel();
     if (parents[0].requires_grad()) {
       Tensor& ga = parents[0].grad_storage();
-      for (long i = 0; i < n; ++i) ga[i] += g[i] / xb[i];
+      for (long i = 0; i < gn; ++i) ga[i] += g[i] / pb[i];
     }
     if (parents[1].requires_grad()) {
       Tensor& gb = parents[1].grad_storage();
-      for (long i = 0; i < n; ++i) gb[i] -= g[i] * xa[i] / (xb[i] * xb[i]);
+      for (long i = 0; i < gn; ++i) gb[i] -= g[i] * pa[i] / (pb[i] * pb[i]);
     }
   });
 }
@@ -335,19 +335,19 @@ Var concat_axis(const std::vector<Var>& parts, int axis) {
   }
   return Var::make_op(
       std::move(y), parts, [out_split, extents](const Tensor& g, std::vector<Var>& parents) {
-        long cursor = 0;
+        long gcursor = 0;
         for (std::size_t k = 0; k < parents.size(); ++k) {
           const long extent = extents[k];
           if (parents[k].requires_grad()) {
             Tensor& gp = parents[k].grad_storage();
             for (long o = 0; o < out_split.outer; ++o) {
-              const float* src = g.data() + (o * out_split.extent + cursor) * out_split.inner;
+              const float* src = g.data() + (o * out_split.extent + gcursor) * out_split.inner;
               float* dst = gp.data() + o * extent * out_split.inner;
               const long block = extent * out_split.inner;
               for (long i = 0; i < block; ++i) dst[i] += src[i];
             }
           }
-          cursor += extent;
+          gcursor += extent;
         }
       });
 }
@@ -396,18 +396,18 @@ Var matmul(const Var& a, const Var& b) {
               n, /*accumulate=*/false);
   return Var::make_op(std::move(y), {a, b},
                       [m, k, n](const Tensor& g, std::vector<Var>& parents) {
-                        const Tensor& xa = parents[0].value();
-                        const Tensor& xb = parents[1].value();
+                        const Tensor& pa = parents[0].value();
+                        const Tensor& pb = parents[1].value();
                         if (parents[0].requires_grad()) {
                           // dA += G · Bᵀ — NT variant, no transpose materialized.
                           Tensor& ga = parents[0].grad_storage();
                           gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kTrans, m, k, n, g.data(), n,
-                                      xb.data(), n, ga.data(), k, /*accumulate=*/true);
+                                      pb.data(), n, ga.data(), k, /*accumulate=*/true);
                         }
                         if (parents[1].requires_grad()) {
                           // dB += Aᵀ · G — TN variant.
                           Tensor& gb = parents[1].grad_storage();
-                          gemm::sgemm(gemm::Trans::kTrans, gemm::Trans::kNo, k, n, m, xa.data(), k,
+                          gemm::sgemm(gemm::Trans::kTrans, gemm::Trans::kNo, k, n, m, pa.data(), k,
                                       g.data(), n, gb.data(), n, /*accumulate=*/true);
                         }
                       });
@@ -470,21 +470,22 @@ Var bce_with_logits(const Var& logits, const Var& target) {
   double total = 0.0;
   for (long i = 0; i < n; ++i) {
     const float zi = z[i];
-    total += std::max(zi, 0.0f) - zi * t[i] + std::log1p(std::exp(-std::fabs(zi)));
+    total += static_cast<double>(std::max(zi, 0.0f) - zi * t[i] +
+                                 std::log1p(std::exp(-std::fabs(zi))));
   }
   Tensor y = Tensor::scalar(static_cast<float>(total / static_cast<double>(n)));
   return Var::make_op(std::move(y), {logits, target},
                       [n](const Tensor& g, std::vector<Var>& parents) {
-                        const Tensor& z = parents[0].value();
-                        const Tensor& t = parents[1].value();
+                        const Tensor& pz = parents[0].value();
+                        const Tensor& pt = parents[1].value();
                         const float scale = g[0] / static_cast<float>(n);
                         if (parents[0].requires_grad()) {
                           Tensor& gz = parents[0].grad_storage();
                           for (long i = 0; i < n; ++i) {
-                            const float zi = z[i];
+                            const float zi = pz[i];
                             const float sig = zi >= 0.0f ? 1.0f / (1.0f + std::exp(-zi))
                                                          : std::exp(zi) / (1.0f + std::exp(zi));
-                            gz[i] += scale * (sig - t[i]);
+                            gz[i] += scale * (sig - pt[i]);
                           }
                         }
                         // Targets are constants in every caller; no grad needed.

@@ -22,11 +22,11 @@ double Optimizer::clip_grad_norm(float max_norm) {
   for (Var& p : params_) {
     const Tensor& g = p.grad_storage();
     const long n = g.numel();
-    for (long i = 0; i < n; ++i) total_sq += static_cast<double>(g[i]) * g[i];
+    for (long i = 0; i < n; ++i) total_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
   }
   const double norm = std::sqrt(total_sq);
-  if (norm <= max_norm) return norm;
-  const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+  if (norm <= static_cast<double>(max_norm)) return norm;
+  const float scale = static_cast<float>(static_cast<double>(max_norm) / (norm + 1e-12));
   for (Var& p : params_) p.grad_storage().scale_(scale);
   return norm;
 }

@@ -33,7 +33,7 @@ void save_parameters(const std::string& path, const std::vector<Var>& params) {
     write_u64(out, static_cast<std::uint64_t>(t.rank()));
     for (int i = 0; i < t.rank(); ++i) write_u64(out, static_cast<std::uint64_t>(t.dim(i)));
     out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+              static_cast<std::streamsize>(static_cast<std::size_t>(t.numel()) * sizeof(float)));
   }
   SG_CHECK(static_cast<bool>(out), "write failed for " + path);
 }
@@ -56,7 +56,7 @@ void load_parameters(const std::string& path, std::vector<Var>& params) {
       SG_CHECK(extent == static_cast<std::uint64_t>(t.dim(i)), "parameter shape mismatch");
     }
     in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+            static_cast<std::streamsize>(static_cast<std::size_t>(t.numel()) * sizeof(float)));
     SG_CHECK(static_cast<bool>(in), "unexpected end of parameter data");
   }
 }

@@ -121,7 +121,7 @@ std::vector<nn::Tensor> get_tensor_list(Reader& r) {
       shape[i] = static_cast<long>(extent);
     }
     nn::Tensor t(shape);
-    r.get_bytes(t.data(), static_cast<std::size_t>(numel) * sizeof(float));
+    r.get_bytes(t.data(), numel * sizeof(float));
     tensors.push_back(std::move(t));
   }
   return tensors;

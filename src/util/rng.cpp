@@ -27,7 +27,7 @@ std::size_t Rng::uniform_index(std::size_t n) {
   // 64-bit draw onto [0, n) via the high half of a 128-bit product and
   // reject the sliver of draws that would bias the low residues — unlike
   // `next_u64() % n`, every index is exactly equally likely.
-  const std::uint64_t bound = static_cast<std::uint64_t>(n);
+  const std::uint64_t bound = n;  // std::size_t is 64-bit on every supported target
   std::uint64_t x = next_u64();
   unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
   std::uint64_t low = static_cast<std::uint64_t>(m);

@@ -48,7 +48,7 @@ TEST(SleepingTest, DiurnalTrafficSavesInPaperRange) {
   geo::CityTensor traffic(48, 10, 10);
   Rng rng(1);
   for (long t = 0; t < 48; ++t) {
-    const double diurnal = 0.5 + 0.5 * std::cos(2.0 * M_PI * (t - 14.0) / 24.0);
+    const double diurnal = 0.5 + 0.5 * std::cos(2.0 * M_PI * (static_cast<double>(t) - 14.0) / 24.0);
     for (long p = 0; p < 100; ++p) {
       const double amp = rng.uniform(0.05, 1.0);
       traffic[t * 100 + p] = amp * diurnal;
@@ -103,7 +103,8 @@ TEST(VranTest, SkewedLoadStillReasonablyFair) {
   for (long i = 0; i < 12; ++i) {
     for (long j = 0; j < 12; ++j) {
       // Hotspot at the center.
-      const double d2 = (i - 6.0) * (i - 6.0) + (j - 6.0) * (j - 6.0);
+      const double fi = static_cast<double>(i), fj = static_cast<double>(j);
+      const double d2 = (fi - 6.0) * (fi - 6.0) + (fj - 6.0) * (fj - 6.0);
       load.at(i, j) = std::exp(-d2 / 18.0) + 0.05 * rng.uniform(0, 1);
     }
   }
@@ -226,7 +227,7 @@ TEST_P(CuCountTest, PartitionHandlesPaperCuCounts) {
     sum += l;
     sum_sq += l * l;
   }
-  EXPECT_GT(sum * sum / (cus * sum_sq), 0.8);
+  EXPECT_GT(sum * sum / (static_cast<double>(cus) * sum_sq), 0.8);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperCuCounts, CuCountTest, testing::Values(4L, 6L, 8L));

@@ -239,7 +239,8 @@ TEST(LossesTest, MaskedTargetZeroesWeakBins) {
   const long T = 48;
   nn::Tensor traffic({1, T, 1});
   for (long t = 0; t < T; ++t) {
-    traffic[t] = static_cast<float>(1.0 + std::cos(2.0 * M_PI * 2.0 * t / T));
+    traffic[t] = static_cast<float>(1.0 + std::cos(2.0 * M_PI * 2.0 * static_cast<double>(t) /
+                                                   static_cast<double>(T)));
   }
   const long f_gen = 10;
   const nn::Tensor masked = masked_spectrum_target(traffic, f_gen, 0.75);

@@ -65,8 +65,9 @@ TEST(SpectrumTest, ReconstructTopKApproximatesPeriodicSignal) {
   Rng rng(5);
   std::vector<double> x(static_cast<std::size_t>(n));
   for (long t = 0; t < n; ++t) {
-    x[static_cast<std::size_t>(t)] = 1.0 + 0.8 * std::cos(2.0 * M_PI * 7.0 * t / n) +
-                                     0.3 * std::sin(2.0 * M_PI * 1.0 * t / n) +
+    const double ft = static_cast<double>(t), fn = static_cast<double>(n);
+    x[static_cast<std::size_t>(t)] = 1.0 + 0.8 * std::cos(2.0 * M_PI * 7.0 * ft / fn) +
+                                     0.3 * std::sin(2.0 * M_PI * 1.0 * ft / fn) +
                                      0.01 * rng.normal();
   }
   const std::vector<double> recon = reconstruct_top_k(x, 5);
@@ -97,7 +98,7 @@ TEST_P(ExpansionTest, EnergyMultipliedByK) {
   double base_energy = 0.0, expanded_energy = 0.0;
   for (const Complex& c : base) base_energy += std::abs(c);
   for (const Complex& c : expanded) expanded_energy += std::abs(c);
-  EXPECT_NEAR(expanded_energy, k * base_energy, 1e-9);
+  EXPECT_NEAR(expanded_energy, static_cast<double>(k) * base_energy, 1e-9);
 }
 
 TEST_P(ExpansionTest, SynthesizedSignalRepeatsBaseWindow) {
@@ -108,7 +109,8 @@ TEST_P(ExpansionTest, SynthesizedSignalRepeatsBaseWindow) {
   std::vector<double> x(static_cast<std::size_t>(base_t));
   for (long t = 0; t < base_t; ++t) {
     x[static_cast<std::size_t>(t)] =
-        1.0 + std::cos(2.0 * M_PI * t / base_t) + 0.4 * std::sin(2.0 * M_PI * 2 * t / base_t);
+        1.0 + std::cos(2.0 * M_PI * static_cast<double>(t) / static_cast<double>(base_t)) +
+        0.4 * std::sin(2.0 * M_PI * 2 * static_cast<double>(t) / static_cast<double>(base_t));
   }
   const std::vector<double> longer = synthesize_expanded(rfft(x), base_t, k);
   ASSERT_EQ(longer.size(), static_cast<std::size_t>(k * base_t));

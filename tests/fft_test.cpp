@@ -44,8 +44,10 @@ TEST_P(FftLengthTest, MatchesNaiveDft) {
   const std::vector<Complex> fast = fft(x);
   const std::vector<Complex> slow = naive_dft(x);
   for (long k = 0; k < n; ++k) {
-    EXPECT_NEAR(fast[static_cast<std::size_t>(k)].real(), slow[static_cast<std::size_t>(k)].real(), 1e-8 * n);
-    EXPECT_NEAR(fast[static_cast<std::size_t>(k)].imag(), slow[static_cast<std::size_t>(k)].imag(), 1e-8 * n);
+    EXPECT_NEAR(fast[static_cast<std::size_t>(k)].real(), slow[static_cast<std::size_t>(k)].real(),
+                1e-8 * static_cast<double>(n));
+    EXPECT_NEAR(fast[static_cast<std::size_t>(k)].imag(), slow[static_cast<std::size_t>(k)].imag(),
+                1e-8 * static_cast<double>(n));
   }
 }
 
@@ -55,8 +57,10 @@ TEST_P(FftLengthTest, InverseRoundTrip) {
   const std::vector<Complex> x = random_signal(static_cast<std::size_t>(n), rng);
   const std::vector<Complex> back = ifft(fft(x));
   for (long k = 0; k < n; ++k) {
-    EXPECT_NEAR(back[static_cast<std::size_t>(k)].real(), x[static_cast<std::size_t>(k)].real(), 1e-9 * n);
-    EXPECT_NEAR(back[static_cast<std::size_t>(k)].imag(), x[static_cast<std::size_t>(k)].imag(), 1e-9 * n);
+    EXPECT_NEAR(back[static_cast<std::size_t>(k)].real(), x[static_cast<std::size_t>(k)].real(),
+                1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(back[static_cast<std::size_t>(k)].imag(), x[static_cast<std::size_t>(k)].imag(),
+                1e-9 * static_cast<double>(n));
   }
 }
 
@@ -68,7 +72,8 @@ TEST_P(FftLengthTest, ParsevalHolds) {
   double time_energy = 0.0, freq_energy = 0.0;
   for (const Complex& c : x) time_energy += std::norm(c);
   for (const Complex& c : y) freq_energy += std::norm(c);
-  EXPECT_NEAR(freq_energy, time_energy * n, 1e-7 * n * n);
+  const double fn = static_cast<double>(n);
+  EXPECT_NEAR(freq_energy, time_energy * fn, 1e-7 * fn * fn);
 }
 
 // 168 is the hourly-week length at the heart of SpectraGAN; 504 is the
@@ -95,7 +100,8 @@ TEST(RfftTest, PureCosineConcentrates) {
   const long n = 48;
   std::vector<double> x(static_cast<std::size_t>(n));
   for (long t = 0; t < n; ++t) {
-    x[static_cast<std::size_t>(t)] = std::cos(2.0 * M_PI * 3.0 * t / n);
+    x[static_cast<std::size_t>(t)] =
+        std::cos(2.0 * M_PI * 3.0 * static_cast<double>(t) / static_cast<double>(n));
   }
   const std::vector<Complex> y = rfft(x);
   for (std::size_t k = 0; k < y.size(); ++k) {

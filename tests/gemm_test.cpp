@@ -78,9 +78,9 @@ TEST(GemmTest, RandomShapesMatchOrderedReferenceExactly) {
   Rng rng(2024);
   Rng shapes(7);
   for (int trial = 0; trial < 24; ++trial) {
-    const long m = 1 + shapes.uniform_index(33);
-    const long n = 1 + shapes.uniform_index(40);
-    const long k = 1 + shapes.uniform_index(50);
+    const long m = 1 + static_cast<long>(shapes.uniform_index(33));
+    const long n = 1 + static_cast<long>(shapes.uniform_index(40));
+    const long k = 1 + static_cast<long>(shapes.uniform_index(50));
     const bool accumulate = trial % 2 == 0;
     check_variant(Trans::kNo, Trans::kNo, m, n, k, accumulate, rng);
     check_variant(Trans::kNo, Trans::kTrans, m, n, k, accumulate, rng);
@@ -111,8 +111,11 @@ TEST(GemmTest, NaiveToleranceSanity) {
   for (long i = 0; i < m; ++i) {
     for (long j = 0; j < n; ++j) {
       double acc = 0.0;
-      for (long p = 0; p < k; ++p) acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
-      EXPECT_NEAR(c[i * n + j], acc, 1e-4) << "at (" << i << ", " << j << ")";
+      for (long p = 0; p < k; ++p)
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+               static_cast<double>(b[static_cast<std::size_t>(p * n + j)]);
+      EXPECT_NEAR(c[static_cast<std::size_t>(i * n + j)], acc, 1e-4)
+          << "at (" << i << ", " << j << ")";
     }
   }
 }

@@ -85,7 +85,7 @@ TEST(CityTensorTest, SpaceAverageAndPixelSeries) {
 
 TEST(CityTensorTest, SliceTime) {
   CityTensor t(5, 1, 1);
-  for (long k = 0; k < 5; ++k) t.at(k, 0, 0) = k;
+  for (long k = 0; k < 5; ++k) t.at(k, 0, 0) = static_cast<double>(k);
   const CityTensor s = t.slice_time(1, 3);
   EXPECT_EQ(s.steps(), 3);
   EXPECT_DOUBLE_EQ(s.at(0, 0, 0), 1.0);

@@ -25,8 +25,8 @@ TEST(InitTest, HeNormalVariance) {
   Rng rng(2);
   Tensor t = init::he_normal({200, 50}, 200, rng);
   double sum_sq = 0.0;
-  for (long i = 0; i < t.numel(); ++i) sum_sq += t[i] * t[i];
-  EXPECT_NEAR(sum_sq / t.numel(), 2.0 / 200.0, 2e-3);
+  for (long i = 0; i < t.numel(); ++i) sum_sq += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+  EXPECT_NEAR(sum_sq / static_cast<double>(t.numel()), 2.0 / 200.0, 2e-3);
 }
 
 TEST(InitTest, Zeros) {
@@ -108,7 +108,8 @@ TEST(LstmTest, ForwardRepeatProducesSteps) {
   // The recurrent state evolves: consecutive outputs differ.
   bool any_diff = false;
   for (long i = 0; i < outputs[0].value().numel(); ++i) {
-    if (std::fabs(outputs[0].value()[i] - outputs[9].value()[i]) > 1e-6) any_diff = true;
+    if (std::fabs(static_cast<double>(outputs[0].value()[i] - outputs[9].value()[i])) > 1e-6)
+      any_diff = true;
   }
   EXPECT_TRUE(any_diff);
 }
@@ -173,7 +174,8 @@ TEST(OptimizerTest, GradClipScalesLargeGradients) {
   loss.backward();
   opt.clip_grad_norm(1.0f);
   double norm_sq = 0.0;
-  for (long i = 0; i < 2; ++i) norm_sq += w.grad()[i] * w.grad()[i];
+  for (long i = 0; i < 2; ++i)
+    norm_sq += static_cast<double>(w.grad()[i]) * static_cast<double>(w.grad()[i]);
   EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-4);
 }
 

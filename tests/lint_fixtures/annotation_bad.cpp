@@ -1,0 +1,13 @@
+// Fixture: MUST trigger [annotation] — a waiver without a justification
+// is itself an error (NOLINT-with-reason policy, DESIGN §6d).
+#include <thread>
+
+namespace spectra::fixture {
+
+void spawn() {
+  // sg-lint: allow(thread)
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace spectra::fixture

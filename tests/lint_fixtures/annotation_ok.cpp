@@ -1,0 +1,13 @@
+// Clean twin of annotation_bad.cpp: a justified waiver silences the
+// finding on the annotated line (and the line directly below it).
+#include <thread>
+
+namespace spectra::fixture {
+
+void spawn() {
+  // sg-lint: allow(thread) fixture: exercises the justified-waiver path
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace spectra::fixture

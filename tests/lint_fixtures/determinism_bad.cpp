@@ -1,0 +1,19 @@
+// Fixture: MUST trigger [determinism] — nondeterministic sources in a core
+// path. Linted as-if at src/train/fixture.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace spectra::fixture {
+
+unsigned long bad_seed() {
+  std::random_device rd;                                    // rule: determinism
+  return rd() + static_cast<unsigned long>(time(nullptr));  // rule: determinism
+}
+
+long bad_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // rule: determinism
+}
+
+}  // namespace spectra::fixture

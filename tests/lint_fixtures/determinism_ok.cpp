@@ -1,0 +1,25 @@
+// Clean twin of determinism_bad.cpp: randomness flows from the seeded
+// spectra::Rng, timing from steady_clock (allowed — it never feeds data).
+#include <chrono>
+
+namespace spectra {
+class Rng {
+ public:
+  explicit Rng(unsigned long seed);
+  double normal();
+};
+}  // namespace spectra
+
+namespace spectra::fixture {
+
+double good_draw(Rng& rng) { return rng.normal(); }
+
+// steady_clock is monotonic timing, not a data-path entropy source.
+long good_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// An identifier merely *containing* the banned token must not fire:
+long lifetime(long uptime) { return uptime; }
+
+}  // namespace spectra::fixture

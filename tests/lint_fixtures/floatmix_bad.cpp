@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [float-mix] — bare double in a kernel file mixes
+// accumulation precision. Linted as-if at src/nn/gemm.cpp.
+
+namespace spectra::nn::fixture {
+
+float dot(const float* a, const float* b, long n) {
+  double acc = 0.0;  // rule: float-mix
+  for (long i = 0; i < n; ++i) acc += a[i] * b[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace spectra::nn::fixture

@@ -1,0 +1,18 @@
+// Clean twin of floatmix_bad.cpp: the kernel accumulates in float; the
+// only precision crossing is an explicit static_cast<double> at the
+// observability boundary.
+
+namespace spectra::nn::fixture {
+
+float dot(const float* a, const float* b, long n) {
+  float acc = 0.0f;
+  for (long i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Crossing the precision boundary via an explicit cast is allowed.
+long scaled_micro(float value) {
+  return static_cast<long>(static_cast<double>(value) * 1e6);
+}
+
+}  // namespace spectra::nn::fixture

@@ -1,0 +1,25 @@
+// Fixture: MUST trigger [registry] in all four directions when checked
+// against registry_design.md:
+//   - reads a knob the design table does not document
+//   - registers a metric the design table does not document
+//   - (the design table also names a knob and a metric this file never
+//     touches, so the unused-direction findings fire too)
+
+namespace spectra {
+std::string env_string(const char* name, const char* fallback);
+namespace obs {
+struct Registry {
+  static Registry& instance();
+  int& counter(const char* name);
+};
+}  // namespace obs
+}  // namespace spectra
+
+namespace spectra::fixture {
+
+void touch() {
+  (void)env_string("SPECTRA_BOGUS", "");  // not in the design knob table
+  (void)obs::Registry::instance().counter("bogus.metric");  // not in the metric table
+}
+
+}  // namespace spectra::fixture

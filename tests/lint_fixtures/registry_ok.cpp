@@ -1,0 +1,21 @@
+// Clean twin of registry_bad.cpp: uses exactly the knob and metric that
+// registry_design.md documents.
+
+namespace spectra {
+std::string env_string(const char* name, const char* fallback);
+namespace obs {
+struct Registry {
+  static Registry& instance();
+  int& counter(const char* name);
+};
+}  // namespace obs
+}  // namespace spectra
+
+namespace spectra::fixture {
+
+void touch() {
+  (void)env_string("SPECTRA_DOCUMENTED", "");
+  (void)obs::Registry::instance().counter("documented.metric");
+}
+
+}  // namespace spectra::fixture

@@ -1,0 +1,14 @@
+// Fixture: MUST trigger [mutable-static] — unaudited mutable process state.
+// Linted as-if at src/geo/fixture.cpp.
+
+namespace spectra::fixture {
+
+static long g_call_count = 0;  // rule: mutable-static
+
+long count_calls() {
+  thread_local long tls_hits = 0;  // rule: mutable-static
+  ++tls_hits;
+  return ++g_call_count;
+}
+
+}  // namespace spectra::fixture

@@ -1,0 +1,33 @@
+// Clean twin of static_bad.cpp: immutable statics, static member
+// functions, and a justified waiver are all fine.
+
+namespace spectra::obs {
+class Counter {
+ public:
+  void inc();
+};
+struct Registry {
+  static Registry& instance();
+  Counter& counter(const char* name);
+};
+}  // namespace spectra::obs
+
+namespace spectra::fixture {
+
+static const long kLimit = 64;
+static constexpr double kScale = 0.5;
+
+struct Helper {
+  static long clamp(long v);  // static member function, not state
+};
+
+long observe() {
+  // Registry instrument handles are allowed by pattern.
+  static obs::Counter& c = obs::Registry::instance().counter("fixture.calls");
+  c.inc();
+  // sg-lint: allow(mutable-static) fixture: documents the waiver syntax
+  static long waived_cache = kLimit;
+  return waived_cache + static_cast<long>(kScale);
+}
+
+}  // namespace spectra::fixture

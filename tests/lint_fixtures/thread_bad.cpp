@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [thread] — raw std::thread outside util/thread_pool.
+// Linted as-if at src/core/fixture.cpp by run_fixture_tests.py.
+#include <thread>
+
+namespace spectra::fixture {
+
+void spawn_worker() {
+  std::thread t([] {});  // rule: thread
+  t.join();
+}
+
+}  // namespace spectra::fixture

@@ -1,0 +1,16 @@
+// Clean twin of thread_bad.cpp: parallelism goes through the shared pool,
+// and mentioning std::thread in comments or strings is fine.
+namespace spectra {
+void parallel_for(unsigned long n, unsigned long grain, void (*fn)(unsigned long, unsigned long));
+}
+
+namespace spectra::fixture {
+
+// A comment may say std::thread without tripping the rule.
+const char* kDoc = "do not use std::thread directly";
+
+void spawn_worker() {
+  spectra::parallel_for(128, 16, [](unsigned long, unsigned long) {});
+}
+
+}  // namespace spectra::fixture

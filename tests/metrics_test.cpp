@@ -29,9 +29,9 @@ geo::CityTensor diurnal_tensor(long t, long h, long w, double phase = 0.0) {
   for (long step = 0; step < t; ++step) {
     for (long i = 0; i < h; ++i) {
       for (long j = 0; j < w; ++j) {
-        const double amp = 0.2 + 0.8 * static_cast<double>(i * w + j) / (h * w);
+        const double amp = 0.2 + 0.8 * static_cast<double>(i * w + j) / static_cast<double>(h * w);
         tensor.at(step, i, j) =
-            amp * (1.0 + 0.8 * std::cos(2.0 * M_PI * (step - phase) / 24.0));
+            amp * (1.0 + 0.8 * std::cos(2.0 * M_PI * (static_cast<double>(step) - phase) / 24.0));
       }
     }
   }

@@ -224,7 +224,7 @@ TEST_P(ProcessSweepTest, NightTrafficBelowDayTraffic) {
       ++days;
     }
   }
-  EXPECT_LT(night / nights, 0.8 * day / days);
+  EXPECT_LT(night / static_cast<double>(nights), 0.8 * day / static_cast<double>(days));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProcessSweepTest, testing::Values(101ULL, 103ULL, 107ULL, 109ULL));
