@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/variants.h"
 #include "data/dataset.h"
 #include "eval/protocol.h"
@@ -91,22 +92,10 @@ void run_once(::benchmark::State& state, Fn&& fn) {
 
 }  // namespace spectra::bench
 
-namespace spectra::bench {
-
-// Teardown hook for SG_BENCH_MAIN: flush the trace (if SPECTRA_TRACE is
-// set), write the metrics JSON (if SPECTRA_METRICS is set), and log the
-// text snapshot so a debug run shows where the time went.
-inline void dump_observability() {
-  ::spectra::obs::trace_flush();
-  ::spectra::obs::dump_metrics();
-  SG_LOG_DEBUG << "\n" << ::spectra::obs::metrics_snapshot();
-}
-
-}  // namespace spectra::bench
-
 // BENCHMARK_MAIN-style entry with a post-run report hook: REPORT() runs
 // after the timed benchmarks and prints the paper-style tables; the
-// observability dump runs last.
+// shared bench_report teardown (trace/metrics/profile/manifest) runs
+// last.
 #define SG_BENCH_MAIN(REPORT)                                   \
   int main(int argc, char** argv) {                             \
     ::benchmark::Initialize(&argc, argv);                       \
@@ -115,7 +104,7 @@ inline void dump_observability() {
     }                                                           \
     ::benchmark::RunSpecifiedBenchmarks();                      \
     REPORT();                                                   \
-    ::spectra::bench::dump_observability();                     \
+    ::spectra::bench::bench_report(argv[0]);                    \
     ::benchmark::Shutdown();                                    \
     return 0;                                                   \
   }

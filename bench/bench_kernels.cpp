@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "nn/autograd.h"
 #include "nn/conv.h"
 #include "nn/gemm.h"
@@ -244,5 +245,6 @@ int main() {
 
   emit_json(results, env_string("SPECTRA_BENCH_OUT", "BENCH_KERNELS.json"));
   set_parallel_threads(0);
+  spectra::bench::bench_report("bench_kernels");
   return 0;
 }

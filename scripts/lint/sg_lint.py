@@ -64,7 +64,10 @@ SRC_GLOBS = ("src/**/*.cpp", "src/**/*.h")
 CODE_GLOBS = SRC_GLOBS + ("bench/**/*.cpp", "bench/**/*.h",
                           "examples/**/*.cpp", "examples/**/*.h")
 
-THREAD_EXEMPT = ("src/util/thread_pool.cpp", "src/util/thread_pool.h")
+THREAD_EXEMPT = ("src/util/thread_pool.cpp", "src/util/thread_pool.h",
+                 # resource sampler: the one sanctioned non-pool thread —
+                 # it only reads /proc and stores into registry atomics
+                 "src/obs/sampler.cpp", "src/obs/sampler.h")
 DETERMINISM_DIRS = ("src/core/", "src/nn/", "src/dsp/", "src/train/")
 # Files holding the numeric kernels whose bitwise output the parallel and
 # checkpoint suites pin down.
@@ -203,7 +206,7 @@ STATIC_OK_RE = re.compile(
     r"static_assert|static_cast"
     r"|\bconst\b|\bconstexpr\b|\bconsteval\b|\bconstinit\b"
     # registry instrument lookups: thread-safe, append-only handles
-    r"|static\s+obs::(Counter|Gauge|Histogram)&")
+    r"|static\s+obs::(Counter|Gauge|MaxGauge|Histogram)&")
 STATIC_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=|;|\{)")
 
 DOUBLE_RE = re.compile(r"\bdouble\b")
@@ -278,7 +281,7 @@ def lint_file(disk_path: Path, rel: str, findings: list[Finding]):
 # Registry rule (whole-repo).
 
 KNOB_LITERAL_RE = re.compile(r'"(SPECTRA_[A-Z][A-Z0-9_]*)"')
-METRIC_CALL_RE = re.compile(r'\b(?:counter|gauge|histogram)\(\s*"([a-z0-9_.]+)"')
+METRIC_CALL_RE = re.compile(r'\b(?:counter|gauge|max_gauge|histogram)\(\s*"([a-z0-9_.]+)"')
 TABLE_TOKEN_RE = re.compile(r"`([^`]+)`")
 
 KNOB_BEGIN = "<!-- sg-lint:knob-table-begin -->"

@@ -7,6 +7,7 @@
 #include "core/fourier_bridge.h"
 #include "core/trainer.h"
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +15,7 @@ namespace spectra::core {
 
 geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, long steps,
                                           Rng& rng) const {
+  SG_PROFILE_SCOPE("core/generate_city");
   SG_CHECK(context.steps() == config_.context_channels,
            "context channel count does not match the model");
   SG_CHECK(steps > 0 && steps % config_.train_steps == 0,

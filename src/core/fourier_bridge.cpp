@@ -2,6 +2,7 @@
 
 #include "dsp/fft.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -13,6 +14,7 @@ using nn::Var;
 
 Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
   SG_TRACE_SPAN("core/irfft_bridge");
+  SG_PROFILE_SCOPE("core/irfft_bridge");
   static obs::Counter& calls = obs::Registry::instance().counter("fourier_bridge.calls");
   static obs::Histogram& seconds =
       obs::Registry::instance().histogram("fourier_bridge.seconds");
@@ -65,6 +67,7 @@ Var irfft_bridge(const Var& spectrum, long base_steps, long expand_k) {
       [B, two_f, f_gen, P, t_out, expand_k, k_scale](const Tensor& g, std::vector<Var>& parents) {
         if (!parents[0].requires_grad()) return;
         SG_TRACE_SPAN("core/irfft_bridge_backward");
+        SG_PROFILE_SCOPE("core/irfft_bridge_backward");
         Tensor& gs = parents[0].grad_storage();
         // Gradient writes touch only the (b, p) column being processed,
         // so the flattened B*P axis parallelizes with disjoint writes.

@@ -6,6 +6,7 @@
 #include <shared_mutex>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -136,6 +137,14 @@ void fft_inplace(std::vector<Complex>& a, bool inverse) {
   static obs::Histogram& seconds = obs::Registry::instance().histogram("fft.seconds");
   calls.inc();
   obs::ScopedTimer timer(seconds);
+  SG_PROFILE_SCOPE("dsp/fft");
+  if (obs::profile_enabled()) {
+    // 5·N·log2(N) real flops (the standard complex radix-2 count);
+    // traffic is the in-place buffer read and written once per pass.
+    const double nd = static_cast<double>(n);
+    const double log2n = std::log2(nd);
+    obs::profile_add_work(5.0 * nd * log2n, 2.0 * nd * 16.0);
+  }
   const int sign = inverse ? +1 : -1;
   if (is_power_of_two(n)) {
     radix2(a, sign);

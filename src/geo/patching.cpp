@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -122,6 +123,7 @@ void OverlapAccumulator::add_patch(const PatchWindow& window, const PatchSpec& s
 
 CityTensor OverlapAccumulator::finalize() const {
   SG_TRACE_SPAN("geo/assemble_city");
+  SG_PROFILE_SCOPE("geo/assemble_city");
   static obs::Histogram& seconds = obs::Registry::instance().histogram("geo.assemble_seconds");
   obs::ScopedTimer timer(seconds);
   CityTensor out = sum_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/gemm.h"
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -44,6 +45,20 @@ bool resolve_use_gemm(const ConvGeom& g, Conv2dImpl impl) {
   if (impl == Conv2dImpl::kDirect) return false;
   if (impl == Conv2dImpl::kIm2col) return true;
   return 2 * g.O * g.ckk() * g.out_pixels() >= kDirectFlopThreshold;
+}
+
+// Attribute one conv contraction's work via its im2col dimensions:
+// `passes` contractions of 2·O·ckk·out_pixels flops per sample, with the
+// operand planes counted once each for traffic.
+void add_conv_work(const ConvGeom& g, long passes) {
+  if (passes == 0 || !obs::profile_enabled()) return;
+  obs::profile_add_work(
+      static_cast<double>(passes) * 2.0 * static_cast<double>(g.N * g.O) *
+          static_cast<double>(g.ckk()) * static_cast<double>(g.out_pixels()),
+      static_cast<double>(passes) * static_cast<double>(g.N) *
+          (static_cast<double>(g.C * g.H * g.W) + static_cast<double>(g.O * g.ckk()) +
+           static_cast<double>(g.O * g.out_pixels())) *
+          4.0);
 }
 
 // Patch matrix for one sample: col[(c*kh+r)*kw+q][oh*Wo+ow] =
@@ -300,10 +315,14 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
   const bool use_gemm = resolve_use_gemm(g, spec.impl);
 
   Tensor y({g.N, g.O, g.Ho, g.Wo});
-  if (use_gemm) {
-    forward_gemm(g, x.data(), w.data(), b.data(), y.data());
-  } else {
-    forward_direct(g, x.data(), w.data(), b.data(), y.data());
+  {
+    SG_PROFILE_SCOPE("nn/conv2d_forward");
+    add_conv_work(g, /*passes=*/1);
+    if (use_gemm) {
+      forward_gemm(g, x.data(), w.data(), b.data(), y.data());
+    } else {
+      forward_direct(g, x.data(), w.data(), b.data(), y.data());
+    }
   }
 
   return Var::make_op(
@@ -313,6 +332,9 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, const Conv2dSpe
         const bool need_dx = parents[0].requires_grad();
         const bool need_dw = parents[1].requires_grad();
         const bool need_db = parents[2].requires_grad();
+        SG_PROFILE_SCOPE("nn/conv2d_backward");
+        // dx and dw are each one more contraction of the forward's shape.
+        add_conv_work(g, (need_dx ? 1 : 0) + (need_dw ? 1 : 0));
 
         // The three gradients are computed by separate loop nests so every
         // parallel chunk owns a disjoint slice of exactly one buffer. The

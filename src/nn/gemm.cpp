@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -149,6 +150,17 @@ void sgemm(Trans ta, Trans tb, long m, long n, long k, const float* a, long lda,
     return;
   }
   calls_counter().inc();
+  SG_PROFILE_SCOPE("nn/gemm");
+  if (obs::profile_enabled()) {
+    // 2·M·N·K flops; traffic counts each operand once plus the C
+    // write-back (the roofline convention, ignoring blocking reuse).
+    obs::profile_add_work(
+        2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k),
+        (static_cast<double>(m) * static_cast<double>(k) +
+         static_cast<double>(k) * static_cast<double>(n) +
+         2.0 * static_cast<double>(m) * static_cast<double>(n)) *
+            4.0);
+  }
 
   const long a_row_stride = ta == Trans::kNo ? lda : 1;
   const long a_col_stride = ta == Trans::kNo ? 1 : lda;

@@ -1,6 +1,7 @@
 #include "nn/lstm.h"
 
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "util/error.h"
 
 namespace spectra::nn {
@@ -37,6 +38,15 @@ LstmState LSTMCell::step(const Var& x, const LstmState& state) const {
 LstmState LSTMCell::step_projected(const Var& x_proj, const LstmState& state) const {
   SG_CHECK(x_proj.value().rank() == 2 && x_proj.value().dim(1) == 4 * hidden_size_,
            "LSTMCell projected input must be [B, 4*hidden]");
+  SG_PROFILE_SCOPE("nn/lstm_step");
+  if (obs::profile_enabled()) {
+    // Elementwise gate cost only (~40 nominal flops per hidden element:
+    // gate sums, three sigmoids, two tanhs, cell/output blends); the
+    // recurrent GEMM accounts for itself on the nested nn/gemm node.
+    const double bh = static_cast<double>(x_proj.value().dim(0)) *
+                      static_cast<double>(hidden_size_);
+    obs::profile_add_work(40.0 * bh, 10.0 * bh * 4.0);
+  }
   Var gates = add_rowvec(add(x_proj, matmul(state.h, weight_h_)), bias_);
   const long H = hidden_size_;
   Var i = sigmoid(slice_cols(gates, 0, H));
@@ -58,6 +68,7 @@ Lstm::Lstm(long input_size, long hidden_size, long output_size, Rng& rng,
 }
 
 std::vector<Var> Lstm::forward(const std::vector<Var>& inputs) const {
+  SG_PROFILE_SCOPE("nn/lstm_forward");
   SG_CHECK(!inputs.empty(), "Lstm::forward requires at least one step");
   const long batch = inputs[0].value().dim(0);
   // Batch the input projection of the whole sequence into one [T·B, 4H]
@@ -79,6 +90,7 @@ std::vector<Var> Lstm::forward(const std::vector<Var>& inputs) const {
 }
 
 std::vector<Var> Lstm::forward_repeat(const Var& input, long steps) const {
+  SG_PROFILE_SCOPE("nn/lstm_forward");
   SG_CHECK(steps > 0, "forward_repeat requires steps > 0");
   // The input is static across steps, so one projection serves all of
   // them.

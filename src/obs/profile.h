@@ -1,0 +1,121 @@
+// Hierarchical wall-clock profiler: nestable RAII scopes aggregate into a
+// per-thread parent→child timing tree (call counts, inclusive nanoseconds,
+// and attributed flop/byte work), merged across threads at report time.
+//
+// Profiling is off by default. Setting SPECTRA_PROFILE enables it at
+// startup and registers an atexit report: the text tree always goes to
+// stderr; when the value is a path (anything other than `1`/`true`) the
+// JSON tree is also written there. Tests toggle it with
+// profile_set_enabled(). When disabled, SG_PROFILE_SCOPE costs one
+// relaxed atomic load and a branch — the same contract as SG_TRACE_SPAN.
+//
+//   void d_step() {
+//     SG_PROFILE_SCOPE("train/d_step");
+//     ...
+//   }
+//
+// Kernels attribute work to the innermost open scope on their thread with
+// profile_add_work(flops, bytes); the report derives GFLOP/s and
+// arithmetic intensity (flops/byte) per node from it. Work is attributed
+// to the node where it is reported, not summed up the tree — a conv node
+// and the gemm node nested under it each carry their own accounting.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spectra::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profile_enabled;
+
+struct ProfileNode;
+
+// Nanoseconds since the process profile origin (monotonic clock).
+std::uint64_t profile_now_ns();
+
+// Descend into (find-or-create) the named child of the calling thread's
+// current node and make it current. Returns the entered node.
+ProfileNode* profile_enter(const char* name);
+
+// Record one call of `start_ns`..now into `node` and pop back to its
+// parent.
+void profile_exit(ProfileNode* node, std::uint64_t start_ns);
+
+// Idempotent SPECTRA_PROFILE autostart hook, invoked from
+// Registry::instance() so the static-archive linker cannot drop it.
+void profile_env_autostart();
+}  // namespace detail
+
+inline bool profile_enabled() {
+  return detail::g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+// Runtime toggle (SPECTRA_PROFILE flips it on during static init).
+void profile_set_enabled(bool enabled);
+
+// Attribute `flops` floating-point operations and `bytes` of memory
+// traffic to the innermost open scope on this thread. No-op when
+// profiling is disabled or no scope is open.
+void profile_add_work(double flops, double bytes);
+
+// Aligned text tree: one row per node with calls, inclusive/exclusive
+// seconds, GFLOP/s and arithmetic intensity where work was attributed.
+// Per-thread trees are merged by path; scopes entered on pool workers
+// appear as their own top-level subtrees.
+std::string profile_report_text();
+
+// The same tree as a JSON document:
+//   {"wall_seconds": W, "tree": [{"name", "calls", "incl_seconds",
+//    "excl_seconds", "flops", "bytes", "children": [...]}, ...]}
+std::string profile_report_json();
+
+// Write profile_report_json() to `path`, or honour $SPECTRA_PROFILE when
+// `path` is empty (no-op when the knob is unset or a bare enable flag).
+void profile_dump(const std::string& path = "");
+
+// Discard every recorded node and restart the wall-clock origin. Only
+// safe while no scopes are open. Tests only.
+void profile_reset();
+
+// Scoped profile node: enters the named child at construction, records
+// one call at destruction. `name` must be a string literal (node
+// identity is the pointer first, contents second).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (profile_enabled()) {
+      node_ = detail::profile_enter(name);
+      start_ns_ = detail::profile_now_ns();
+    }
+  }
+  ~ProfileScope() {
+    if (node_ != nullptr) detail::profile_exit(node_, start_ns_);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  detail::ProfileNode* node_ = nullptr;  // nullptr while profiling is disabled
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace spectra::obs
+
+#define SG_PROFILE_CONCAT_INNER(a, b) a##b
+#define SG_PROFILE_CONCAT(a, b) SG_PROFILE_CONCAT_INNER(a, b)
+
+// `name` must be a string literal (or otherwise outlive the process).
+// -DSPECTRA_STRIP_PROBES compiles the scope away entirely; the CI
+// obs-overhead job builds a stripped twin to measure what the disabled
+// probes cost against truly probe-free code.
+#if defined(SPECTRA_STRIP_PROBES)
+#define SG_PROFILE_SCOPE(name) \
+  do {                         \
+  } while (false)
+#else
+#define SG_PROFILE_SCOPE(name) \
+  ::spectra::obs::ProfileScope SG_PROFILE_CONCAT(sg_profile_scope_, __COUNTER__)(name)
+#endif

@@ -1,0 +1,184 @@
+#include "obs/sampler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace spectra::obs {
+
+namespace {
+
+// Parse "VmRSS:     1234 kB"-style lines from /proc/self/status.
+double status_kb(const std::string& contents, const char* key) {
+  const std::size_t pos = contents.find(key);
+  if (pos == std::string::npos) return 0.0;
+  const char* p = contents.c_str() + pos + std::string(key).size();
+  return std::strtod(p, nullptr) * 1024.0;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Milliseconds since the first call (sampler time origin for JSONL ticks).
+double elapsed_ms() {
+  // sg-lint: allow(mutable-static) const time origin, set once on first sample
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - origin;
+  return elapsed.count();
+}
+
+// Append one resource tick to $SPECTRA_TRAIN_LOG. The sampler keeps its
+// own append-mode stream (O_APPEND, flushed per line) so it interleaves
+// whole lines with the trainer's TrainLogSink without coordination.
+void append_jsonl_tick(const ProcSample& sample) {
+  const char* path = std::getenv("SPECTRA_TRAIN_LOG");
+  if (path == nullptr || path[0] == '\0') return;
+  Registry& registry = Registry::instance();
+  std::ostringstream line;
+  line << "{\"sample_ms\":" << format_double(elapsed_ms())
+       << ",\"rss_bytes\":" << format_double(sample.rss_bytes)
+       << ",\"peak_rss_bytes\":" << format_double(sample.peak_rss_bytes)
+       << ",\"cpu_utime_seconds\":" << format_double(sample.cpu_utime_seconds)
+       << ",\"cpu_stime_seconds\":" << format_double(sample.cpu_stime_seconds)
+       << ",\"pool_queue_depth\":" << format_double(registry.gauge("pool.queue_depth").value())
+       << ",\"pool_tasks_executed\":" << registry.counter("pool.tasks_executed").value()
+       << '}';
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << line.str() << '\n';
+}
+
+}  // namespace
+
+ProcSample read_proc_sample() {
+  ProcSample sample;
+#if defined(__linux__)
+  {
+    std::ifstream status("/proc/self/status");
+    if (status) {
+      std::stringstream contents;
+      contents << status.rdbuf();
+      const std::string text = contents.str();
+      sample.rss_bytes = status_kb(text, "VmRSS:");
+      sample.peak_rss_bytes = status_kb(text, "VmHWM:");
+    }
+  }
+  {
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    if (stat && std::getline(stat, line)) {
+      // Fields 14 (utime) and 15 (stime) in clock ticks; the comm field
+      // may contain spaces, so tokenize after the closing ')'.
+      const std::size_t close = line.rfind(')');
+      if (close != std::string::npos) {
+        std::istringstream fields(line.substr(close + 1));
+        std::string token;
+        double utime_ticks = 0.0;
+        double stime_ticks = 0.0;
+        // After ')': state is field 3; utime is field 14 → the 12th token.
+        for (int i = 1; i <= 13 && (fields >> token); ++i) {
+          if (i == 12) utime_ticks = std::strtod(token.c_str(), nullptr);
+          if (i == 13) stime_ticks = std::strtod(token.c_str(), nullptr);
+        }
+        const double ticks_per_second = static_cast<double>(sysconf(_SC_CLK_TCK));
+        if (ticks_per_second > 0.0) {
+          sample.cpu_utime_seconds = utime_ticks / ticks_per_second;
+          sample.cpu_stime_seconds = stime_ticks / ticks_per_second;
+        }
+      }
+    }
+  }
+#endif
+  return sample;
+}
+
+ProcSample sample_once(bool jsonl) {
+  const ProcSample sample = read_proc_sample();
+  Registry& registry = Registry::instance();
+  registry.gauge("proc.rss_bytes").set(sample.rss_bytes);
+  registry.max_gauge("proc.peak_rss_bytes").update(sample.peak_rss_bytes);
+  registry.gauge("proc.cpu_utime_seconds").set(sample.cpu_utime_seconds);
+  registry.gauge("proc.cpu_stime_seconds").set(sample.cpu_stime_seconds);
+  registry.counter("proc.sampler_ticks").inc();
+  if (jsonl) append_jsonl_tick(sample);
+  return sample;
+}
+
+ResourceSampler& ResourceSampler::instance() {
+  // sg-lint: allow(mutable-static) leaked sampler singleton; atexit stop() joins the thread
+  static ResourceSampler* sampler = new ResourceSampler();
+  return *sampler;
+}
+
+void ResourceSampler::start(long interval_ms) {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  if (interval_ms < 1) interval_ms = 1;
+  stop_flag_ = false;
+  running_ = true;
+  thread_ = std::thread([this, interval_ms] { loop(interval_ms); });
+}
+
+void ResourceSampler::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stop_flag_ = true;
+    to_join = std::move(thread_);
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard lock(mutex_);
+  return running_;
+}
+
+void ResourceSampler::loop(long interval_ms) {
+  for (;;) {
+    sample_once(/*jsonl=*/true);
+    std::unique_lock lock(mutex_);
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                     [this] { return stop_flag_; })) {
+      return;
+    }
+  }
+}
+
+namespace detail {
+
+void sampler_env_autostart() {
+  // sg-lint: allow(mutable-static) once-guard for the env autostart hook
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* env = std::getenv("SPECTRA_SAMPLE_MS");
+  if (env == nullptr || env[0] == '\0') return;
+  const long interval_ms = std::strtol(env, nullptr, 10);
+  if (interval_ms <= 0) return;
+  // Only spawns the thread here — the thread itself does the registry
+  // lookups, so this is safe to call from inside Registry::instance().
+  ResourceSampler::instance().start(interval_ms);
+  std::atexit([] { ResourceSampler::instance().stop(); });
+}
+
+}  // namespace detail
+
+}  // namespace spectra::obs

@@ -1,0 +1,85 @@
+// Background resource sampler: an opt-in thread that periodically
+// records process RSS / peak RSS (/proc/self/status), CPU utime/stime
+// (/proc/self/stat), and thread-pool queue state into the metrics
+// registry — and, when SPECTRA_TRAIN_LOG is set, appends one JSONL tick
+// line per sample so resource usage lands in the same time-series as the
+// training telemetry.
+//
+// Sampling is off by default. Setting SPECTRA_SAMPLE_MS=<interval> starts
+// the sampler at that cadence during static init (stopped again via
+// atexit); tests drive it directly with start()/stop() or take single
+// snapshots with sample_once().
+//
+// Instruments updated per tick:
+//   proc.rss_bytes            gauge      resident set size
+//   proc.peak_rss_bytes       max_gauge  high-water RSS (VmHWM)
+//   proc.cpu_utime_seconds    gauge      cumulative user CPU
+//   proc.cpu_stime_seconds    gauge      cumulative system CPU
+//   proc.sampler_ticks        counter    samples taken
+//
+// The sampler only reads /proc and stores into registry atomics — it
+// never touches compute state, preserving the bitwise-determinism
+// contract regardless of tick timing.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace spectra::obs {
+
+namespace detail {
+// Idempotent SPECTRA_SAMPLE_MS autostart hook, invoked from
+// Registry::instance() so the static-archive linker cannot drop it. Must
+// not call Registry::instance() on the calling thread (it runs inside
+// the registry's own initialization).
+void sampler_env_autostart();
+}  // namespace detail
+
+// One snapshot of the process resource counters. Zeroes on platforms
+// without /proc (the sampler then still ticks, recording zeros).
+struct ProcSample {
+  double rss_bytes = 0.0;
+  double peak_rss_bytes = 0.0;
+  double cpu_utime_seconds = 0.0;
+  double cpu_stime_seconds = 0.0;
+};
+
+// Read /proc/self/{status,stat} once. Exposed for tests and for callers
+// that want a snapshot without the background thread.
+ProcSample read_proc_sample();
+
+// Take one sample and push it into the metrics registry (and the train
+// JSONL when `jsonl` is true and SPECTRA_TRAIN_LOG names a file).
+// Returns the sample. This is the body of one background tick.
+ProcSample sample_once(bool jsonl = false);
+
+class ResourceSampler {
+ public:
+  // The process-wide sampler (leaked; the thread is joined on stop()).
+  static ResourceSampler& instance();
+
+  // Start ticking every `interval_ms` (clamped to >= 1). No-op when
+  // already running.
+  void start(long interval_ms);
+
+  // Stop and join the background thread. Safe to call when not running;
+  // registered via atexit by the env autostart.
+  void stop();
+
+  bool running() const;
+
+ private:
+  ResourceSampler() = default;
+
+  void loop(long interval_ms);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // signalled by stop() to cut a sleep short
+  std::thread thread_;
+  bool running_ = false;    // guarded by mutex_
+  bool stop_flag_ = false;  // guarded by mutex_
+};
+
+}  // namespace spectra::obs

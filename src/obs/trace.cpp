@@ -1,11 +1,14 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace spectra::obs {
 
@@ -18,12 +21,22 @@ struct TraceEvent {
 };
 
 // Per-thread buffer. Appends come only from the owning thread; the
-// buffer mutex exists so trace_json()/trace_reset() can read from other
-// threads. Uncontended in the hot path.
+// buffer mutex exists so trace_json()/trace_reset()/stream drains can
+// read from other threads. Uncontended in the hot path.
 struct ThreadBuffer {
   std::mutex mutex;
   std::vector<TraceEvent> events;
   std::uint32_t tid = 0;
+};
+
+// Streaming sink state. `mutex` serializes drains; the hot path only
+// touches `pending` (relaxed atomic) and takes the mutex via try_lock,
+// so a drain in progress never blocks recording threads.
+struct StreamState {
+  std::mutex mutex;
+  std::ofstream out;
+  std::string path;
+  bool any_event = false;  // whether a comma is needed before the next event
 };
 
 struct TraceState {
@@ -31,14 +44,19 @@ struct TraceState {
   std::vector<ThreadBuffer*> buffers;   // leaked; one per thread ever seen
   std::uint32_t next_tid = 1;
   std::chrono::steady_clock::time_point origin = std::chrono::steady_clock::now();
+  std::atomic<bool> streaming{false};   // fast check before the pending math
+  std::atomic<std::uint64_t> pending{0};  // events buffered since last drain
+  StreamState stream;
 };
 
 TraceState& state() {
-  static TraceState* s = new TraceState();  // leaked: threads may outlive main
+  // sg-lint: allow(mutable-static) leaked trace singleton: threads may outlive main
+  static TraceState* s = new TraceState();
   return *s;
 }
 
 ThreadBuffer& thread_buffer() {
+  // sg-lint: allow(mutable-static) per-thread span buffer, leaked so events survive thread exit
   thread_local ThreadBuffer* buffer = [] {
     auto* b = new ThreadBuffer();  // leaked: events must survive thread exit
     TraceState& s = state();
@@ -59,14 +77,48 @@ std::string json_escape(const char* s) {
   return out;
 }
 
-// Enable tracing at startup when SPECTRA_TRACE names an output file.
+// Primary autostart: runs at static init in any binary that records
+// spans (they reference this TU). The Registry::instance() hook is the
+// backstop; the once-guard makes the pair idempotent.
 const bool g_trace_env_init = [] {
-  if (std::getenv("SPECTRA_TRACE") != nullptr) {
-    detail::g_trace_enabled.store(true, std::memory_order_relaxed);
-    std::atexit([] { trace_flush(); });
-  }
+  detail::trace_env_autostart();
   return true;
 }();
+
+void format_event(std::ostream& out, const TraceEvent& event, std::uint32_t tid) {
+  out << "{\"name\":\"" << json_escape(event.name)
+      << "\",\"cat\":\"spectra\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+      << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us << '}';
+}
+
+// Move every buffered span into the open stream. Caller holds
+// `stream.mutex`; buffers are cleared as they drain, bounding memory.
+void drain_locked(TraceState& s) {
+  if (!s.stream.out.is_open()) return;
+  std::vector<TraceEvent> batch;
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard registry_lock(s.mutex);
+    buffers = s.buffers;
+  }
+  for (ThreadBuffer* buffer : buffers) {
+    batch.clear();
+    std::uint32_t tid = 0;
+    {
+      std::lock_guard lock(buffer->mutex);
+      batch.swap(buffer->events);
+      tid = buffer->tid;
+    }
+    for (const TraceEvent& event : batch) {
+      if (s.stream.any_event) s.stream.out << ",\n";
+      s.stream.any_event = true;
+      format_event(s.stream.out, event, tid);
+    }
+  }
+  s.pending.store(0, std::memory_order_relaxed);
+  s.stream.out.flush();
+  Registry::instance().counter("trace.stream_flushes").inc();
+}
 
 }  // namespace
 
@@ -82,8 +134,32 @@ std::uint64_t trace_now_us() {
 
 void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us) {
   ThreadBuffer& buffer = thread_buffer();
-  std::lock_guard lock(buffer.mutex);
-  buffer.events.push_back({name, start_us, dur_us});
+  {
+    std::lock_guard lock(buffer.mutex);
+    buffer.events.push_back({name, start_us, dur_us});
+  }
+  TraceState& s = state();
+  if (!s.streaming.load(std::memory_order_relaxed)) return;
+  const std::uint64_t pending = s.pending.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (pending < kStreamFlushEvents) return;
+  // Opportunistic drain: whichever thread crosses the threshold while
+  // the stream is free does the work; others keep recording.
+  if (s.stream.mutex.try_lock()) {
+    std::lock_guard lock(s.stream.mutex, std::adopt_lock);
+    drain_locked(s);
+  }
+}
+
+void trace_env_autostart() {
+  // sg-lint: allow(mutable-static) once-guard for the env autostart hook
+  static bool done = false;
+  if (done) return;
+  done = true;
+  const char* env = std::getenv("SPECTRA_TRACE");
+  if (env == nullptr || env[0] == '\0') return;
+  g_trace_enabled.store(true, std::memory_order_relaxed);
+  trace_stream_open(env);
+  std::atexit([] { trace_stream_close(); });
 }
 
 }  // namespace detail
@@ -103,9 +179,7 @@ std::string trace_json() {
     for (const TraceEvent& event : buffer->events) {
       if (!first) out << ',';
       first = false;
-      out << "{\"name\":\"" << json_escape(event.name)
-          << "\",\"cat\":\"spectra\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buffer->tid
-          << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us << '}';
+      format_event(out, event, buffer->tid);
     }
   }
   out << "]}";
@@ -119,6 +193,16 @@ void trace_flush(const std::string& path) {
     if (env != nullptr) target = env;
   }
   if (target.empty()) return;
+  // When the stream owns that file, a whole-document overwrite would
+  // corrupt it — route through a drain instead.
+  {
+    TraceState& s = state();
+    std::lock_guard lock(s.stream.mutex);
+    if (s.stream.out.is_open() && s.stream.path == target) {
+      drain_locked(s);
+      return;
+    }
+  }
   std::ofstream out(target);
   if (!out) return;
   out << trace_json() << '\n';
@@ -131,6 +215,80 @@ void trace_reset() {
     std::lock_guard lock(buffer->mutex);
     buffer->events.clear();
   }
+  s.pending.store(0, std::memory_order_relaxed);
+}
+
+bool trace_recover_partial(const std::string& path) {
+  std::string tail;
+  {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    tail = contents.str();
+  }
+  // Streaming files open with '[' and only a clean close writes the
+  // final ']'. A kill between drains leaves the file ending at an event
+  // boundary ('}'), so the terminator alone cannot tell complete from
+  // cut — the leading '[' can. Whole-document dumps start with '{' and
+  // are written in one shot; leave them (and already-closed streams)
+  // alone.
+  std::size_t begin = 0;
+  while (begin < tail.size() && (tail[begin] == '\n' || tail[begin] == ' ')) ++begin;
+  std::size_t end = tail.size();
+  while (end > begin && (tail[end - 1] == '\n' || tail[end - 1] == ' ')) --end;
+  if (end == begin || tail[begin] != '[') return false;
+  if (tail[end - 1] == ']') return false;
+  // Drop any record cut mid-write: keep through the last complete event
+  // (event JSON is flat, so the last '}' always closes an event), or
+  // just the '[' header when the kill landed before the first drain.
+  const std::size_t brace = tail.find_last_of('}', end - 1);
+  const std::size_t keep = (brace == std::string::npos || brace < begin) ? begin : brace;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << tail.substr(0, keep + 1) << "\n]\n";
+  }
+  const std::string recovered = path + ".recovered";
+  std::remove(recovered.c_str());
+  return std::rename(path.c_str(), recovered.c_str()) == 0;
+}
+
+void trace_stream_open(const std::string& path) {
+  if (path.empty()) return;
+  TraceState& s = state();
+  // Lock-free already-open check: a drain (which holds the stream mutex)
+  // may fault in Registry::instance(), whose env hooks re-enter here —
+  // bailing on the atomic avoids self-deadlock on the mutex.
+  if (s.streaming.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(s.stream.mutex);
+  if (s.stream.out.is_open()) return;
+  trace_recover_partial(path);
+  s.stream.out.open(path);
+  if (!s.stream.out) return;
+  s.stream.path = path;
+  s.stream.any_event = false;
+  s.stream.out << "[\n";
+  s.stream.out.flush();
+  s.streaming.store(true, std::memory_order_relaxed);
+}
+
+void trace_stream_drain() {
+  TraceState& s = state();
+  std::lock_guard lock(s.stream.mutex);
+  drain_locked(s);
+}
+
+void trace_stream_close() {
+  TraceState& s = state();
+  std::lock_guard lock(s.stream.mutex);
+  if (!s.stream.out.is_open()) return;
+  s.streaming.store(false, std::memory_order_relaxed);
+  drain_locked(s);
+  s.stream.out << "\n]\n";
+  s.stream.out.close();
+  s.stream.path.clear();
+  s.stream.any_event = false;
 }
 
 }  // namespace spectra::obs

@@ -2,8 +2,15 @@
 // events), viewable in chrome://tracing or https://ui.perfetto.dev.
 //
 // Tracing is off by default. Setting SPECTRA_TRACE=<file> enables it at
-// startup and registers an atexit flush to that file; tests toggle it
-// with trace_set_enabled(). When disabled, SG_TRACE_SPAN costs one
+// startup and *streams* events to that file: buffered spans are drained
+// to disk every kStreamFlushEvents records (bounding memory) as a bare
+// JSON event array — a format the trace viewers accept even without the
+// closing bracket, so a SIGKILL'd run keeps everything flushed so far.
+// A clean exit finalizes the array via atexit; on the next start a
+// leftover partial file is finalized and renamed <file>.recovered before
+// the new stream opens. Tests toggle recording with trace_set_enabled()
+// and use trace_json()/trace_flush(path), which keep their in-memory
+// whole-document semantics. When disabled, SG_TRACE_SPAN costs one
 // relaxed atomic load and a branch.
 //
 //   void step() {
@@ -27,7 +34,15 @@ std::uint64_t trace_now_us();
 
 // Append one complete span to the calling thread's buffer.
 void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us);
+
+// Idempotent SPECTRA_TRACE autostart hook, invoked from
+// Registry::instance() so the static-archive linker cannot drop it.
+void trace_env_autostart();
 }  // namespace detail
+
+// Buffered spans accumulated before a streaming drain kicks in. Bounds
+// trace memory to roughly this many events per flush interval.
+inline constexpr std::uint64_t kStreamFlushEvents = 4096;
 
 inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
@@ -41,11 +56,32 @@ void trace_set_enabled(bool enabled);
 std::string trace_json();
 
 // Write trace_json() to `path`, or to $SPECTRA_TRACE when `path` is
-// empty. No-op when neither names a file.
+// empty. No-op when neither names a file. When a stream is open this
+// snapshot only covers spans not yet drained to the stream.
 void trace_flush(const std::string& path = "");
 
 // Discard all recorded spans. Tests only.
 void trace_reset();
+
+// --- streaming (SIGKILL-safe) export ------------------------------------
+
+// Open `path` as a streaming event-array sink: recorded spans are
+// appended in batches of kStreamFlushEvents (drained buffers are freed,
+// bounding memory). Any partial stream already at `path` is recovered
+// first. The env autostart calls this with $SPECTRA_TRACE.
+void trace_stream_open(const std::string& path);
+
+// Drain all buffered spans to the open stream now. No-op without one.
+void trace_stream_drain();
+
+// Drain, append the closing bracket, and close the stream file, leaving
+// a well-formed JSON array on disk. No-op without an open stream.
+void trace_stream_close();
+
+// Finalize a partial stream left by a killed process: append the closing
+// bracket and rename to `path`.recovered. Returns true when a partial
+// file was recovered, false when `path` is absent or already complete.
+bool trace_recover_partial(const std::string& path);
 
 // Scoped span: captures the start time at construction and records a
 // complete event at destruction. Spans nest naturally per thread.
@@ -76,5 +112,13 @@ class TraceSpan {
 #define SG_TRACE_CONCAT(a, b) SG_TRACE_CONCAT_INNER(a, b)
 
 // `name` must be a string literal (or otherwise outlive the span).
+// -DSPECTRA_STRIP_PROBES compiles the span away entirely (see
+// SG_PROFILE_SCOPE) for the CI obs-overhead baseline build.
+#if defined(SPECTRA_STRIP_PROBES)
+#define SG_TRACE_SPAN(name) \
+  do {                      \
+  } while (false)
+#else
 #define SG_TRACE_SPAN(name) \
   ::spectra::obs::TraceSpan SG_TRACE_CONCAT(sg_trace_span_, __COUNTER__)(name)
+#endif

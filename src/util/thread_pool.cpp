@@ -23,6 +23,10 @@ obs::Gauge& queue_depth_gauge() {
   static obs::Gauge& g = obs::Registry::instance().gauge("pool.queue_depth");
   return g;
 }
+obs::MaxGauge& queue_depth_peak_gauge() {
+  static obs::MaxGauge& g = obs::Registry::instance().max_gauge("pool.queue_depth_peak");
+  return g;
+}
 obs::Counter& chunks_counter() {
   static obs::Counter& c = obs::Registry::instance().counter("pool.parallel_chunks");
   return c;
@@ -84,6 +88,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     tasks_.push(std::move(packaged));
     queued_counter().inc();
     queue_depth_gauge().set(static_cast<double>(tasks_.size()));
+    queue_depth_peak_gauge().update(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return future;

@@ -1,12 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/run_manifest.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "obs/train_log.h"
 #include "util/thread_pool.h"
@@ -280,6 +288,466 @@ TEST(TrainLogTest, SinkWritesOneLinePerRecord) {
     ++count;
   }
   EXPECT_EQ(count, 3);
+  std::remove(path.c_str());
+}
+
+TEST(MaxGaugeTest, KeepsHighWaterMark) {
+  MaxGauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.update(3.0);
+  gauge.update(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.update(7.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.25);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MaxGaugeTest, ConcurrentUpdatesKeepGlobalMax) {
+  MaxGauge gauge;
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&gauge](std::size_t i) {
+    gauge.update(static_cast<double>(i));
+  });
+  EXPECT_DOUBLE_EQ(gauge.value(), 63.0);
+}
+
+// Deterministic uniform stream in [0, 1) for the quantile tests (LCG —
+// no std RNG so the stream is identical on every platform).
+std::vector<double> uniform_stream(std::size_t n) {
+  std::vector<double> values;
+  values.reserve(n);
+  std::uint64_t x = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    values.push_back(static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0));
+  }
+  return values;
+}
+
+// Reference implementation the reservoir must match while unsaturated:
+// sorted sample, linear interpolation between order statistics.
+double reference_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) * (rank - static_cast<double>(lo));
+}
+
+TEST(HistogramQuantileTest, ExactWhileReservoirUnsaturated) {
+  ASSERT_LT(400u, Histogram::kReservoirSize);
+  Histogram hist({1e9});
+  const std::vector<double> values = uniform_stream(400);
+  for (double v : values) hist.observe(v);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_NEAR(hist.quantile(q), reference_quantile(values, q), 1e-12) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, ApproximateOnceSaturated) {
+  Histogram hist({1e9});
+  const std::vector<double> values = uniform_stream(5000);
+  for (double v : values) hist.observe(v);
+  // The reservoir holds 512 of 5000; a uniform sample bounds the rank
+  // error near 1/sqrt(512) ~ 4.4%. The stream and the replacement hash
+  // are both deterministic, so this is a fixed comparison, not a flake.
+  EXPECT_NEAR(hist.quantile(0.50), reference_quantile(values, 0.50), 0.08);
+  EXPECT_NEAR(hist.quantile(0.95), reference_quantile(values, 0.95), 0.08);
+  EXPECT_NEAR(hist.quantile(0.99), reference_quantile(values, 0.99), 0.08);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramQuantilesAreNaN) {
+  Histogram hist({1.0});
+  EXPECT_TRUE(std::isnan(hist.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(hist.bucket_quantile(0.5)));
+}
+
+TEST(HistogramQuantileTest, BucketQuantileInterpolatesInsideBuckets) {
+  Histogram hist({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) hist.observe(0.5);  // bucket (0, 1]
+  for (int i = 0; i < 50; ++i) hist.observe(1.5);  // bucket (1, 2]
+  EXPECT_NEAR(hist.bucket_quantile(0.25), 0.5, 1e-12);
+  EXPECT_NEAR(hist.bucket_quantile(0.50), 1.0, 1e-12);
+  EXPECT_NEAR(hist.bucket_quantile(0.75), 1.5, 1e-12);
+  hist.observe(100.0);  // overflow bucket clamps to the last finite bound
+  EXPECT_NEAR(hist.bucket_quantile(1.0), 4.0, 1e-12);
+}
+
+TEST(HistogramQuantileTest, SnapshotsRenderQuantiles) {
+  Registry& registry = Registry::instance();
+  Histogram& hist = registry.histogram("obs_test.quant_hist", {10.0});
+  for (int i = 1; i <= 9; ++i) hist.observe(static_cast<double>(i));
+  registry.max_gauge("obs_test.quant_max").update(17.0);
+
+  const std::string text = metrics_snapshot();
+  const std::size_t at = text.find("obs_test.quant_hist");
+  ASSERT_NE(at, std::string::npos);
+  const std::string line = text.substr(at, text.find('\n', at) - at);
+  EXPECT_NE(line.find(" p50="), std::string::npos) << line;
+  EXPECT_NE(line.find(" p95="), std::string::npos) << line;
+  EXPECT_NE(line.find(" p99="), std::string::npos) << line;
+  EXPECT_NE(text.find("maxgauge obs_test.quant_max = 17"), std::string::npos);
+
+  const std::string json = metrics_snapshot_json();
+  EXPECT_TRUE(json_well_formed(json));
+  const std::size_t jat = json.find("\"obs_test.quant_hist\"");
+  ASSERT_NE(jat, std::string::npos);
+  EXPECT_NE(json.find("\"p50\":", jat), std::string::npos);
+  EXPECT_NE(json.find("\"max_gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.quant_max\":17"), std::string::npos);
+}
+
+// --- hierarchical profiler ----------------------------------------------
+
+// Parse the first numeric `field` appearing after `anchor` in `json`.
+double json_number_after(const std::string& json, const std::string& anchor,
+                         const std::string& field) {
+  std::size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return std::nan("");
+  pos = json.find("\"" + field + "\":", pos);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + pos + field.size() + 3, nullptr);
+}
+
+// Saves and restores the global enabled flag so the suite behaves the
+// same whether or not CI exported SPECTRA_PROFILE for the binary.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = profile_enabled();
+    profile_reset();
+    profile_set_enabled(true);
+  }
+  void TearDown() override {
+    profile_set_enabled(was_enabled_);
+    profile_reset();
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ProfileTest, NestedScopesBuildTreeWithCallCounts) {
+  {
+    SG_PROFILE_SCOPE("prof_outer");
+    { SG_PROFILE_SCOPE("prof_inner"); }
+    { SG_PROFILE_SCOPE("prof_inner"); }
+  }
+  const std::string text = profile_report_text();
+  EXPECT_NE(text.find("prof_outer"), std::string::npos);
+  EXPECT_NE(text.find("  prof_inner"), std::string::npos);  // indented child
+
+  const std::string json = profile_report_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_outer", "calls"), 1.0);
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_inner", "calls"), 2.0);
+}
+
+TEST_F(ProfileTest, ExclusiveTimeIsInclusiveMinusChildren) {
+  {
+    SG_PROFILE_SCOPE("prof_excl_outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      SG_PROFILE_SCOPE("prof_excl_inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+  }
+  const std::string json = profile_report_json();
+  const double outer_incl = json_number_after(json, "prof_excl_outer", "incl_seconds");
+  const double outer_excl = json_number_after(json, "prof_excl_outer", "excl_seconds");
+  const double inner_incl = json_number_after(json, "prof_excl_inner", "incl_seconds");
+  ASSERT_FALSE(std::isnan(outer_incl));
+  ASSERT_FALSE(std::isnan(inner_incl));
+  EXPECT_GE(outer_incl, inner_incl);
+  EXPECT_GE(inner_incl, 0.004);
+  // excl is derived as incl - sum(children incl) from the same counters,
+  // so the identity holds to JSON round-trip precision.
+  EXPECT_NEAR(outer_excl, outer_incl - inner_incl, 1e-6);
+}
+
+TEST_F(ProfileTest, WorkIsAttributedToReportingNodeOnly) {
+  {
+    SG_PROFILE_SCOPE("prof_work_parent");
+    {
+      SG_PROFILE_SCOPE("prof_work_child");
+      profile_add_work(2.0e9, 5.0e8);
+    }
+  }
+  const std::string json = profile_report_json();
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_work_parent", "flops"), 0.0);
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_work_child", "flops"), 2.0e9);
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_work_child", "bytes"), 5.0e8);
+  // A node with work gets a derived GFLOP/s figure.
+  const std::size_t child = json.find("prof_work_child");
+  ASSERT_NE(child, std::string::npos);
+  EXPECT_NE(json.find("\"gflops\":", child), std::string::npos);
+}
+
+TEST_F(ProfileTest, DisabledScopesRecordNothing) {
+  profile_set_enabled(false);
+  {
+    SG_PROFILE_SCOPE("prof_ghost");
+    profile_add_work(1.0, 1.0);
+  }
+  EXPECT_EQ(profile_report_text().find("prof_ghost"), std::string::npos);
+}
+
+TEST_F(ProfileTest, ResetClearsTree) {
+  { SG_PROFILE_SCOPE("prof_reset_me"); }
+  EXPECT_NE(profile_report_text().find("prof_reset_me"), std::string::npos);
+  profile_reset();
+  EXPECT_EQ(profile_report_text().find("prof_reset_me"), std::string::npos);
+}
+
+TEST_F(ProfileTest, PoolThreadScopesMergeByPath) {
+  ThreadPool pool(3);
+  pool.parallel_for(8, [](std::size_t) { SG_PROFILE_SCOPE("prof_pool_scope"); });
+  const std::string json = profile_report_json();
+  EXPECT_TRUE(json_well_formed(json));
+  // The same path on different threads merges into one node whose call
+  // count is the total across threads.
+  EXPECT_DOUBLE_EQ(json_number_after(json, "prof_pool_scope", "calls"), 8.0);
+  const std::size_t first = json.find("prof_pool_scope");
+  EXPECT_EQ(json.find("prof_pool_scope", first + 1), std::string::npos);
+}
+
+TEST_F(ProfileTest, DumpWritesWellFormedJsonFile) {
+  { SG_PROFILE_SCOPE("prof_dumped"); }
+  const std::string path = testing::TempDir() + "/sg_profile_dump.json";
+  profile_dump(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buffer.str()));
+  EXPECT_NE(buffer.str().find("prof_dumped"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"wall_seconds\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- resource sampler ---------------------------------------------------
+
+TEST(SamplerTest, ReadProcSampleReportsProcessFacts) {
+#ifdef __linux__
+  const ProcSample sample = read_proc_sample();
+  EXPECT_GT(sample.rss_bytes, 0.0);
+  EXPECT_GE(sample.peak_rss_bytes, sample.rss_bytes);
+  EXPECT_GE(sample.cpu_utime_seconds, 0.0);
+  EXPECT_GE(sample.cpu_stime_seconds, 0.0);
+#else
+  GTEST_SKIP() << "no /proc on this platform";
+#endif
+}
+
+TEST(SamplerTest, SampleOnceUpdatesRegistry) {
+  Registry& registry = Registry::instance();
+  const std::uint64_t before = registry.counter("proc.sampler_ticks").value();
+  sample_once();
+  EXPECT_GE(registry.counter("proc.sampler_ticks").value(), before + 1);
+#ifdef __linux__
+  EXPECT_GT(registry.gauge("proc.rss_bytes").value(), 0.0);
+  EXPECT_GT(registry.max_gauge("proc.peak_rss_bytes").value(), 0.0);
+#endif
+}
+
+TEST(SamplerTest, StartStopLifecycle) {
+  ResourceSampler& sampler = ResourceSampler::instance();
+  const bool was_running = sampler.running();  // CI may have env-started it
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+
+  const std::uint64_t before = Registry::instance().counter("proc.sampler_ticks").value();
+  sampler.start(1);
+  EXPECT_TRUE(sampler.running());
+  sampler.start(1);  // second start is a no-op, not a second thread
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  EXPECT_GT(Registry::instance().counter("proc.sampler_ticks").value(), before);
+
+  if (was_running) sampler.start(5);  // hand the env-started sampler back
+}
+
+// --- run manifest -------------------------------------------------------
+
+TEST(RunManifestTest, ManifestCarriesProvenanceAndExtras) {
+  run_manifest_set("obs_test_extra", "42");
+  run_manifest_set_string("obs_test_str", "hello \"quoted\"");
+  const std::string json = run_manifest_json("obs-test-run");
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"obs-test-run\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"env\":"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_extra\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_str\":\"hello \\\"quoted\\\"\""), std::string::npos);
+}
+
+TEST(RunManifestTest, WriteRunManifestWritesFile) {
+  const std::string path = testing::TempDir() + "/sg_run_manifest.json";
+  std::remove(path.c_str());
+  write_run_manifest(path, "obs-test-file");
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buffer.str()));
+  EXPECT_NE(buffer.str().find("\"name\":\"obs-test-file\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- streaming trace export ---------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The stream sink is process-global; when the binary was launched with
+// SPECTRA_TRACE set, the env autostart already owns it.
+class TraceStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::getenv("SPECTRA_TRACE") != nullptr) {
+      GTEST_SKIP() << "global trace stream owned by SPECTRA_TRACE";
+    }
+    trace_reset();
+    trace_set_enabled(true);
+  }
+  void TearDown() override {
+    trace_stream_close();
+    trace_set_enabled(false);
+    trace_reset();
+  }
+};
+
+TEST_F(TraceStreamTest, DrainStreamsEventsBeforeCloseFinalizes) {
+  const std::string path = testing::TempDir() + "/sg_trace_stream.json";
+  std::remove(path.c_str());
+  const std::uint64_t flushes_before =
+      Registry::instance().counter("trace.stream_flushes").value();
+
+  trace_stream_open(path);
+  { SG_TRACE_SPAN("stream_span_a"); }
+  { SG_TRACE_SPAN("stream_span_b"); }
+  trace_stream_drain();
+
+  // Events are on disk before process exit (the SIGKILL-safety claim)...
+  const std::string partial = slurp(path);
+  EXPECT_NE(partial.find("stream_span_a"), std::string::npos);
+  EXPECT_NE(partial.find("stream_span_b"), std::string::npos);
+  EXPECT_GE(Registry::instance().counter("trace.stream_flushes").value(),
+            flushes_before + 1);
+
+  // ...and close turns the stream into a complete JSON array.
+  trace_stream_close();
+  const std::string full = slurp(path);
+  EXPECT_EQ(full.front(), '[');
+  EXPECT_TRUE(json_well_formed(full)) << full;
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceStreamTest, RecordingPastThresholdDrainsWithoutExplicitFlush) {
+  const std::string path = testing::TempDir() + "/sg_trace_autodrain.json";
+  std::remove(path.c_str());
+  trace_stream_open(path);
+  for (std::uint64_t i = 0; i < kStreamFlushEvents + 8; ++i) {
+    SG_TRACE_SPAN("auto_drain_span");
+  }
+  // The recording thread itself crossed the threshold and drained.
+  EXPECT_NE(slurp(path).find("auto_drain_span"), std::string::npos);
+  trace_stream_close();
+  EXPECT_TRUE(json_well_formed(slurp(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceStreamTest, FlushRoutesToStreamWhenItOwnsThePath) {
+  const std::string path = testing::TempDir() + "/sg_trace_owned.json";
+  std::remove(path.c_str());
+  trace_stream_open(path);
+  { SG_TRACE_SPAN("owned_span"); }
+  trace_flush(path);  // must drain, not overwrite with a whole document
+  const std::string contents = slurp(path);
+  EXPECT_NE(contents.find("owned_span"), std::string::npos);
+  EXPECT_EQ(contents.find("traceEvents"), std::string::npos);
+  trace_stream_close();
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecoverTest, PartialStreamIsFinalizedAndRenamed) {
+  const std::string path = testing::TempDir() + "/sg_trace_partial.json";
+  const std::string recovered = path + ".recovered";
+  std::remove(path.c_str());
+  std::remove(recovered.c_str());
+  {
+    std::ofstream out(path);
+    out << "[\n{\"name\":\"cut_short\",\"ph\":\"X\",\"ts\":1,\"dur\":2},";
+  }
+  EXPECT_TRUE(trace_recover_partial(path));
+  EXPECT_FALSE(static_cast<bool>(std::ifstream(path)));  // renamed away
+  const std::string contents = slurp(recovered);
+  EXPECT_TRUE(json_well_formed(contents)) << contents;
+  EXPECT_NE(contents.find("cut_short"), std::string::npos);
+  std::remove(recovered.c_str());
+}
+
+// A SIGKILL between drains leaves the file ending exactly at an event's
+// closing brace — the common case, since drains flush whole events. The
+// leading '[' (never present in one-shot dumps) must mark it as a cut
+// stream.
+TEST(TraceRecoverTest, KillAtEventBoundaryIsStillRecovered) {
+  const std::string path = testing::TempDir() + "/sg_trace_boundary.json";
+  const std::string recovered = path + ".recovered";
+  std::remove(path.c_str());
+  std::remove(recovered.c_str());
+  {
+    std::ofstream out(path);
+    out << "[\n{\"name\":\"a\",\"ph\":\"X\",\"ts\":1,\"dur\":2},\n"
+        << "{\"name\":\"b\",\"ph\":\"X\",\"ts\":3,\"dur\":4}";
+  }
+  EXPECT_TRUE(trace_recover_partial(path));
+  const std::string contents = slurp(recovered);
+  EXPECT_TRUE(json_well_formed(contents)) << contents;
+  EXPECT_NE(contents.find("\"b\""), std::string::npos);
+  std::remove(recovered.c_str());
+}
+
+// A kill mid-write leaves a half-serialized record; recovery must drop
+// it and close the array after the last complete event.
+TEST(TraceRecoverTest, MidRecordCutIsTruncatedToLastCompleteEvent) {
+  const std::string path = testing::TempDir() + "/sg_trace_midcut.json";
+  const std::string recovered = path + ".recovered";
+  std::remove(path.c_str());
+  std::remove(recovered.c_str());
+  {
+    std::ofstream out(path);
+    out << "[\n{\"name\":\"whole\",\"ph\":\"X\",\"ts\":1,\"dur\":2},\n"
+        << "{\"name\":\"torn\",\"ph\":\"X\",\"ts\":47";
+  }
+  EXPECT_TRUE(trace_recover_partial(path));
+  const std::string contents = slurp(recovered);
+  EXPECT_TRUE(json_well_formed(contents)) << contents;
+  EXPECT_NE(contents.find("whole"), std::string::npos);
+  EXPECT_EQ(contents.find("torn"), std::string::npos);
+  std::remove(recovered.c_str());
+}
+
+TEST(TraceRecoverTest, CompleteFileIsLeftAlone) {
+  const std::string path = testing::TempDir() + "/sg_trace_complete.json";
+  {
+    std::ofstream out(path);
+    out << "[\n{\"name\":\"done\",\"ph\":\"X\",\"ts\":1,\"dur\":2}\n]\n";
+  }
+  EXPECT_FALSE(trace_recover_partial(path));
+  EXPECT_TRUE(static_cast<bool>(std::ifstream(path)));
+  EXPECT_FALSE(static_cast<bool>(std::ifstream((path + ".recovered").c_str())));
   std::remove(path.c_str());
 }
 
