@@ -1,0 +1,194 @@
+// Megacity streaming-generation bench (DESIGN.md §6f): sew a city far
+// larger than anything the dense path should ever hold — 1024x1024 by
+// default — through generate_city_streamed + SpillRowSink, and prove the
+// bounded-memory contract by running the SAME model at half height
+// first: strip-resident bytes must be flat across heights and the peak
+// RSS gained between the two runs must stay under a fixed budget (a
+// dense canvas would add ~2x the half-height footprint instead).
+//
+// Emits BENCH_MEGACITY.json (override with SPECTRA_BENCH_OUT) — gated in
+// CI by scripts/check_bench_megacity.py: rss growth / budget are
+// machine-independent, throughput is compared against the committed
+// baseline at MIN_RATIO 0.8.
+//
+// Knobs: SPECTRA_MEGACITY_H / SPECTRA_MEGACITY_W (grid extent, default
+// 1024), SPECTRA_SPILL_DIR (where the spilled city lands, default the
+// working directory; the file is removed after verification).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/trainer.h"
+#include "geo/strip_accumulator.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace spectra;
+
+// A deliberately small model: the subject is the sewing machinery, not
+// the generator, so the per-patch forward is kept cheap while the patch
+// geometry stays realistic (8x8 traffic windows at stride 4 = 50% row
+// overlap, the band holds 8 + 4 rows).
+core::SpectraGanConfig bench_config() {
+  core::SpectraGanConfig config;
+  config.patch = {.traffic_h = 8, .traffic_w = 8, .context_h = 16, .context_w = 16, .stride = 4};
+  config.context_channels = 3;
+  config.train_steps = 24;
+  config.spectrum_bins = 8;
+  config.hidden_channels = 6;
+  config.encoder_mid_channels = 8;
+  config.spectrum_mid_channels = 8;
+  config.lstm_hidden = 8;
+  config.cond_dim = 8;
+  config.disc_mlp_hidden = 8;
+  config.noise_channels = 2;
+  return config;
+}
+
+struct PhaseResult {
+  std::string name;
+  long height = 0;
+  long width = 0;
+  long steps = 0;
+  double seconds = 0.0;
+  long rows_spilled = 0;
+  long long bytes_spilled = 0;
+  double strip_resident_bytes_peak = 0.0;
+  double peak_rss_bytes = 0.0;
+  // Spatiotemporal values per second: H * W * T / seconds.
+  double pixels_per_s() const {
+    return seconds > 0.0
+               ? static_cast<double>(height) * static_cast<double>(width) *
+                     static_cast<double>(steps) / seconds
+               : 0.0;
+  }
+};
+
+PhaseResult run_phase(const std::string& name, const core::SpectraGan& model, long height,
+                      long width, const std::string& spill_dir) {
+  const core::SpectraGanConfig& config = model.config();
+  geo::ContextTensor context(config.context_channels, height, width);
+  Rng rng_fill(17);
+  for (double& v : context.values()) v = rng_fill.uniform(0, 1);
+
+  obs::MaxGauge& strip_peak =
+      obs::Registry::instance().max_gauge("geo.strip_resident_bytes_peak");
+  obs::Counter& spilled = obs::Registry::instance().counter("geo.rows_spilled");
+  strip_peak.reset();  // per-phase high-water mark: must be flat across heights
+  const std::uint64_t spilled_before = spilled.value();
+
+  PhaseResult r;
+  r.name = name;
+  r.height = height;
+  r.width = width;
+  r.steps = config.train_steps;
+
+  const std::string spill_path = spill_dir + "/megacity_" + name + ".f64";
+  {
+    geo::SpillRowSink sink(spill_path, config.train_steps, width);
+    Rng rng(21);
+    Stopwatch watch;
+    model.generate_city_streamed(context, config.train_steps, rng, sink);
+    sink.close();
+    r.seconds = watch.seconds();
+    r.rows_spilled = sink.rows_written();
+    r.bytes_spilled = sink.bytes_written();
+  }
+  r.strip_resident_bytes_peak = strip_peak.value();
+  r.peak_rss_bytes = obs::sample_once().peak_rss_bytes;
+
+  SG_CHECK(r.rows_spilled == height, "spilled city is missing rows");
+  SG_CHECK(spilled.value() - spilled_before == static_cast<std::uint64_t>(height),
+           "geo.rows_spilled did not advance by one per row");
+
+  // Spot-check the spilled city is readable and sane before deleting it:
+  // first, middle, and last rows, non-negative finite values.
+  std::vector<double> row;
+  for (const long probe : {0L, height / 2, height - 1}) {
+    geo::read_spilled_row(spill_path, config.train_steps, width, probe, row);
+    for (const double v : row) {
+      SG_CHECK(std::isfinite(v) && v >= 0.0, "spilled row holds a negative or non-finite value");
+    }
+  }
+  std::remove(spill_path.c_str());
+  return r;
+}
+
+void emit_json(const std::vector<PhaseResult>& phases, long long rss_budget_bytes,
+               const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SG_LOG_ERROR << "bench_megacity: cannot open " << path;
+    return;
+  }
+  const PhaseResult& half = phases.front();
+  const PhaseResult& full = phases.back();
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"threads\": %zu,\n", parallel_threads());
+  std::fprintf(f, "  \"rss_budget_bytes\": %lld,\n", rss_budget_bytes);
+  std::fprintf(f, "  \"pixels_per_s\": %.1f,\n", full.pixels_per_s());
+  std::fprintf(f, "  \"peak_rss_bytes\": %.0f,\n", full.peak_rss_bytes);
+  std::fprintf(f, "  \"rss_growth_bytes\": %.0f,\n",
+               full.peak_rss_bytes - half.peak_rss_bytes);
+  std::fprintf(f, "  \"phases\": [\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& r = phases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"height\": %ld, \"width\": %ld, \"steps\": %ld,\n"
+                 "     \"seconds\": %.3f, \"pixels_per_s\": %.1f, \"rows_spilled\": %ld,\n"
+                 "     \"bytes_spilled\": %lld, \"strip_resident_bytes_peak\": %.0f,\n"
+                 "     \"peak_rss_bytes\": %.0f}%s\n",
+                 r.name.c_str(), r.height, r.width, r.steps, r.seconds, r.pixels_per_s(),
+                 r.rows_spilled, r.bytes_spilled, r.strip_resident_bytes_peak, r.peak_rss_bytes,
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const long height = env_long("SPECTRA_MEGACITY_H", 1024);
+  const long width = env_long("SPECTRA_MEGACITY_W", 1024);
+  const std::string spill_dir = env_string("SPECTRA_SPILL_DIR", ".");
+  // The bounded-memory contract: doubling the grid height must not grow
+  // peak RSS by more than the band + bookkeeping slack. A dense canvas at
+  // the full grid would add steps * H * W * 8 bytes (~200 MB at defaults)
+  // — two orders of magnitude over this budget.
+  const long long rss_budget_bytes = env_long("SPECTRA_MEGACITY_RSS_BUDGET", 48L << 20);
+
+  const core::SpectraGanConfig config = bench_config();
+  core::SpectraGan model(config, /*seed=*/16);
+
+  std::vector<PhaseResult> phases;
+  // Half height FIRST: VmHWM is monotone per process, so the growth
+  // full - half is only meaningful in this order.
+  phases.push_back(run_phase("half", model, height / 2, width, spill_dir));
+  phases.push_back(run_phase("full", model, height, width, spill_dir));
+
+  std::printf("%-6s %-11s %-9s %-14s %-16s %s\n", "phase", "grid", "seconds", "pixels/s",
+              "strip peak B", "peak RSS MB");
+  for (const PhaseResult& r : phases) {
+    std::printf("%-6s %ldx%-6ld %-9.2f %-14.3e %-16.0f %.1f\n", r.name.c_str(), r.height,
+                r.width, r.seconds, r.pixels_per_s(), r.strip_resident_bytes_peak,
+                r.peak_rss_bytes / (1024.0 * 1024.0));
+  }
+  std::printf("rss growth half->full: %.1f MB (budget %.1f MB)\n",
+              (phases[1].peak_rss_bytes - phases[0].peak_rss_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(rss_budget_bytes) / (1024.0 * 1024.0));
+
+  emit_json(phases, rss_budget_bytes, env_string("SPECTRA_BENCH_OUT", "BENCH_MEGACITY.json"));
+  spectra::bench::bench_report("bench_megacity");
+  return 0;
+}

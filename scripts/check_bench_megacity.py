@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate streaming megacity generation against BENCH_MEGACITY.json.
+
+Three checks on a fresh bench_megacity run, compared to the committed
+baseline:
+
+1. Bounded memory (hard, machine-independent): peak RSS growth between
+   the half-height and full-height phases must stay within the committed
+   rss_budget_bytes, and the per-phase strip-resident high-water mark
+   (geo.strip_resident_bytes_peak) must be FLAT across heights — growth
+   there means the band is leaking rows and memory scales with H again.
+2. Peak RSS ceiling (hard): the full-phase peak RSS must stay within
+   baseline peak RSS + rss_budget_bytes. A dense-canvas regression at the
+   default 1024x1024x24 grid adds ~200 MB and trips this immediately.
+3. Throughput (hard, MIN_RATIO): full-phase pixels/s must reach at least
+   MIN_RATIO x the committed baseline pixels/s. Absolute rates are
+   machine-dependent, so the margin is generous; the *within-run*
+   half-vs-full throughput ratio is also gated at MIN_RATIO, which is
+   machine-independent (per-pixel cost must not grow with grid height).
+
+Usage: check_bench_megacity.py <baseline.json> <current.json>
+"""
+
+import json
+import sys
+
+MIN_RATIO = 0.8
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    if len(data.get("phases", [])) < 2:
+        sys.exit(f"{path}: expected at least a half and a full phase")
+    return data
+
+
+def mib(n):
+    return n / (1024.0 * 1024.0)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+
+    half, full = current["phases"][0], current["phases"][-1]
+    budget = baseline["rss_budget_bytes"]
+    failures = []
+
+    growth = full["peak_rss_bytes"] - half["peak_rss_bytes"]
+    print(f"rss growth half->full: {mib(growth):.1f} MiB (budget {mib(budget):.1f} MiB)")
+    if growth > budget:
+        failures.append(
+            f"peak RSS grew {mib(growth):.1f} MiB between half and full height "
+            f"(budget {mib(budget):.1f} MiB) — memory is scaling with grid height")
+
+    strip_half = half["strip_resident_bytes_peak"]
+    strip_full = full["strip_resident_bytes_peak"]
+    print(f"strip resident peak: half {strip_half:.0f} B, full {strip_full:.0f} B")
+    if strip_full > strip_half:
+        failures.append(
+            f"strip-resident peak grew with grid height ({strip_half:.0f} -> "
+            f"{strip_full:.0f} B) — the band is retaining rows")
+
+    rss_ceiling = baseline["peak_rss_bytes"] + budget
+    print(f"full-phase peak RSS: {mib(full['peak_rss_bytes']):.1f} MiB "
+          f"(ceiling {mib(rss_ceiling):.1f} MiB)")
+    if full["peak_rss_bytes"] > rss_ceiling:
+        failures.append(
+            f"peak RSS {mib(full['peak_rss_bytes']):.1f} MiB exceeds baseline "
+            f"{mib(baseline['peak_rss_bytes']):.1f} + budget {mib(budget):.1f} MiB")
+
+    base_rate = baseline["pixels_per_s"]
+    cur_rate = full["pixels_per_s"]
+    ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+    print(f"throughput: {cur_rate:.3e} pixels/s vs baseline {base_rate:.3e} "
+          f"(ratio {ratio:.2f}, min {MIN_RATIO})")
+    if ratio < MIN_RATIO:
+        failures.append(
+            f"throughput {cur_rate:.3e} pixels/s < {MIN_RATIO} x baseline {base_rate:.3e}")
+
+    flat = full["pixels_per_s"] / half["pixels_per_s"] if half["pixels_per_s"] > 0 else 0.0
+    print(f"within-run full/half throughput ratio: {flat:.2f} (min {MIN_RATIO})")
+    if flat < MIN_RATIO:
+        failures.append(
+            f"per-pixel cost grows with height: full/half throughput ratio {flat:.2f}")
+
+    if failures:
+        print("\nmegacity streaming gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nmegacity streaming gate passed")
+
+
+if __name__ == "__main__":
+    main()

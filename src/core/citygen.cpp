@@ -1,11 +1,20 @@
 // Whole-city generation (§2.2.4): sliding-window patches, shared noise
 // across all patches, per-pixel overlap averaging (Eq. 2), and k-multiple
 // frequency expansion for horizons beyond the training length.
+//
+// Two sewing paths share one patch-production engine
+// (for_each_generated_patch): the streaming path finalizes rows strip by
+// strip through a RowSink in O(traffic_h x T x W) resident memory
+// (DESIGN §6f, bench_megacity), and the dense path materializes the full
+// canvas — kept as the determinism oracle the equality tests compare
+// against. Both replay accumulation serially in window order, so output
+// is bitwise independent of thread count and identical across paths.
 
+#include <algorithm>
 #include <limits>
 
-#include "core/fourier_bridge.h"
 #include "core/trainer.h"
+#include "geo/strip_accumulator.h"
 #include "nn/init.h"
 #include "obs/profile.h"
 #include "util/error.h"
@@ -13,9 +22,32 @@
 
 namespace spectra::core {
 
-geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, long steps,
-                                          Rng& rng) const {
-  SG_PROFILE_SCOPE("core/generate_city");
+namespace {
+
+// The model contract is non-negative traffic; the dense path clamps the
+// finished canvas, the streaming path clamps each row as it is emitted —
+// the same std::clamp per value, so the paths stay bitwise equal.
+class ClampRowSink : public geo::RowSink {
+ public:
+  explicit ClampRowSink(geo::RowSink& inner) : inner_(inner) {}
+
+  void consume_row(long row, const std::vector<double>& values) override {
+    buf_.assign(values.begin(), values.end());
+    for (double& v : buf_) v = std::clamp(v, 0.0, std::numeric_limits<double>::infinity());
+    inner_.consume_row(row, buf_);
+  }
+
+ private:
+  geo::RowSink& inner_;
+  std::vector<double> buf_;
+};
+
+}  // namespace
+
+void SpectraGan::for_each_generated_patch(
+    const geo::ContextTensor& context, long steps, Rng& rng,
+    const std::function<void(const geo::PatchWindow&, const float*, std::size_t)>& consume)
+    const {
   SG_CHECK(context.steps() == config_.context_channels,
            "context channel count does not match the model");
   SG_CHECK(steps > 0 && steps % config_.train_steps == 0,
@@ -32,7 +64,6 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
   const nn::Tensor shared_noise = nn::init::gaussian(
       {1, config_.noise_channels, spec.traffic_h, spec.traffic_w}, 1.0f, rng);
 
-  geo::OverlapAccumulator accumulator(steps, context.height(), context.width());
   const long pixels = spec.traffic_h * spec.traffic_w;
 
   nn::InferenceGuard no_grad;
@@ -41,9 +72,9 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
 
   // One chunk = one batched generator forward. Chunks are independent, so
   // groups of up to parallel_threads() chunks run concurrently (peak
-  // memory stays bounded at threads x kChunk patches); the overlap
-  // accumulation below then replays every patch in window order on this
-  // thread, keeping the sewn city bitwise independent of thread count.
+  // memory stays bounded at threads x kChunk patches); the consumer below
+  // then replays every patch in window order on this thread, keeping the
+  // sewn city bitwise independent of thread count.
   const auto run_chunk = [&](std::size_t chunk) -> nn::Tensor {
     const std::size_t begin = chunk * kChunk;
     const std::size_t end = std::min(begin + kChunk, windows.size());
@@ -69,7 +100,6 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
   };
 
   const std::size_t group = std::max<std::size_t>(1, parallel_threads());
-  std::vector<float> patch(static_cast<std::size_t>(steps * pixels));
   for (std::size_t g0 = 0; g0 < n_chunks; g0 += group) {
     const std::size_t g1 = std::min(g0 + group, n_chunks);
     std::vector<nn::Tensor> chunk_traffic(g1 - g0);
@@ -85,16 +115,49 @@ geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, lon
       const std::size_t begin = (g0 + c) * kChunk;
       const long n = traffic.dim(0);
       for (long b = 0; b < n; ++b) {
-        for (long t = 0; t < steps; ++t) {
-          for (long p = 0; p < pixels; ++p) {
-            patch[static_cast<std::size_t>(t * pixels + p)] = traffic[(b * steps + t) * pixels + p];
-          }
-        }
-        accumulator.add_patch(windows[begin + static_cast<std::size_t>(b)], spec, patch);
+        // The [T, P] block of patch b is contiguous in the batched
+        // output — hand it to the consumer in place, no scratch copy.
+        consume(windows[begin + static_cast<std::size_t>(b)],
+                traffic.data() + b * steps * pixels,
+                static_cast<std::size_t>(steps * pixels));
       }
     }
   }
+}
 
+geo::CityTensor SpectraGan::generate_city(const geo::ContextTensor& context, long steps,
+                                          Rng& rng) const {
+  SG_PROFILE_SCOPE("core/generate_city");
+  geo::CityTensorSink sink(steps, context.height(), context.width());
+  generate_city_streamed(context, steps, rng, sink);
+  return sink.take();
+}
+
+void SpectraGan::generate_city_streamed(const geo::ContextTensor& context, long steps, Rng& rng,
+                                        geo::RowSink& sink,
+                                        geo::OverlapAggregation aggregation) const {
+  SG_PROFILE_SCOPE("core/generate_city_streamed");
+  ClampRowSink clamped(sink);
+  geo::StripAccumulator accumulator(steps, context.height(), context.width(), clamped,
+                                    aggregation);
+  for_each_generated_patch(
+      context, steps, rng,
+      [&](const geo::PatchWindow& window, const float* patch, std::size_t size) {
+        accumulator.add_patch(window, config_.patch, patch, size);
+      });
+  accumulator.finish();
+}
+
+geo::CityTensor SpectraGan::generate_city_dense(const geo::ContextTensor& context, long steps,
+                                                Rng& rng,
+                                                geo::OverlapAggregation aggregation) const {
+  SG_PROFILE_SCOPE("core/generate_city_dense");
+  geo::OverlapAccumulator accumulator(steps, context.height(), context.width(), aggregation);
+  for_each_generated_patch(
+      context, steps, rng,
+      [&](const geo::PatchWindow& window, const float* patch, std::size_t size) {
+        accumulator.add_patch(window, config_.patch, patch, size);
+      });
   geo::CityTensor city = accumulator.finalize();
   city.clamp(0.0, std::numeric_limits<double>::infinity());
   return city;

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/time_generator.h"
 #include "data/sampler.h"
 #include "geo/city_tensor.h"
+#include "geo/strip_accumulator.h"
 #include "nn/optim.h"
 #include "train/checkpoint.h"
 
@@ -59,8 +61,29 @@ class SpectraGan {
   // Generate a whole-city tensor of `steps` time steps for the given
   // context (steps must be a multiple of config.train_steps; longer
   // horizons use the k-multiple frequency expansion). Noise is shared
-  // across patches (§2.2.4). Non-negative output.
+  // across patches (§2.2.4). Non-negative output. Thin wrapper over
+  // generate_city_streamed with an in-memory CityTensorSink.
   geo::CityTensor generate_city(const geo::ContextTensor& context, long steps, Rng& rng) const;
+
+  // Streaming whole-city generation (DESIGN §6f): identical forwards and
+  // window-ordered accumulation to generate_city, but rows are finalized
+  // strip by strip through `sink` the moment their last covering window
+  // lands, so resident memory is O(traffic_h x steps x W) regardless of
+  // grid height. Emitted rows are clamped non-negative, in strictly
+  // increasing row order, t-major ([t * W + col]). Bitwise identical to
+  // the dense path for any thread count.
+  void generate_city_streamed(
+      const geo::ContextTensor& context, long steps, Rng& rng, geo::RowSink& sink,
+      geo::OverlapAggregation aggregation = geo::OverlapAggregation::kMean) const;
+
+  // The legacy full-canvas path, retained as the determinism oracle: sews
+  // the whole T x H x W city through a resident OverlapAccumulator.
+  // tests/parallel_test.cpp pins streamed ≡ dense bitwise for mean and
+  // median aggregation at 1 and 8 threads. Memory scales with city area —
+  // use only at grid sizes that fit in RAM.
+  geo::CityTensor generate_city_dense(
+      const geo::ContextTensor& context, long steps, Rng& rng,
+      geo::OverlapAggregation aggregation = geo::OverlapAggregation::kMean) const;
 
   const SpectraGanConfig& config() const { return config_; }
 
@@ -80,6 +103,17 @@ class SpectraGan {
   };
   GeneratorOutput generator_forward(const nn::Var& context, const nn::Var& spatial_noise,
                                     long steps, long expand_k) const;
+
+  // Shared §2.2.4 machinery behind both city paths: validate, enumerate
+  // windows, draw the shared noise, run chunked generator forwards
+  // (groups of parallel_threads() chunks fan out on the pool), then call
+  // `consume(window, patch, size)` serially in enumerate_windows order —
+  // the consumer choice (dense canvas vs strip band) is the only
+  // difference between the paths, so their outputs cannot diverge.
+  void for_each_generated_patch(
+      const geo::ContextTensor& context, long steps, Rng& rng,
+      const std::function<void(const geo::PatchWindow&, const float*, std::size_t)>& consume)
+      const;
 
   nn::Tensor sample_noise(long batch, Rng& rng) const;
 

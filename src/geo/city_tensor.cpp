@@ -82,6 +82,9 @@ CityTensor CityTensor::slice_time(long start, long len) const {
 
 double CityTensor::peak() const {
   SG_CHECK(!values_.empty(), "peak of empty CityTensor");
+  // max_element's comparator misorders NaN: one NaN pixel would yield a
+  // bogus peak and poison the normalized city. Fail loudly instead.
+  detail::check_finite(values_, "CityTensor::peak");
   return *std::max_element(values_.begin(), values_.end());
 }
 

@@ -50,7 +50,9 @@ class CityTensor {
   CityTensor slice_time(long start, long len) const;
 
   // Global peak value; and normalization by peak (paper: per-city traffic
-  // anonymized via peak normalization).
+  // anonymized via peak normalization). Both fail on non-finite values
+  // (counted in `geo.nonfinite_pixels`) — a silent NaN peak would poison
+  // the whole normalized city.
   double peak() const;
   void normalize_peak();
 

@@ -1,10 +1,27 @@
 #include "geo/grid.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace spectra::geo {
+
+namespace detail {
+void check_finite(const std::vector<double>& values, const char* what) {
+  std::size_t bad = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) ++bad;
+  }
+  if (bad == 0) return;
+  static obs::Counter& nonfinite = obs::Registry::instance().counter("geo.nonfinite_pixels");
+  nonfinite.inc(bad);
+  SG_THROW(std::string(what) + ": " + std::to_string(bad) +
+           " non-finite pixel(s) — peak normalization would silently poison the map");
+}
+}  // namespace detail
 
 GridMap::GridMap(long height, long width)
     : height_(height), width_(width), values_(static_cast<std::size_t>(height * width), 0.0) {
@@ -45,6 +62,7 @@ double GridMap::max() const {
 }
 
 void GridMap::normalize_peak() {
+  detail::check_finite(values_, "GridMap::normalize_peak");
   const double peak = values_.empty() ? 0.0 : max();
   if (peak <= 0.0) return;
   for (double& v : values_) v /= peak;

@@ -33,6 +33,7 @@ class GridMap {
   double max() const;
 
   // Scale all values so the maximum becomes 1 (no-op on all-zero maps).
+  // Fails on non-finite values — see check_finite below.
   void normalize_peak();
 
   // Elementwise helpers.
@@ -49,5 +50,14 @@ class GridMap {
   long width_ = 0;
   std::vector<double> values_;
 };
+
+namespace detail {
+// Guard for peak-based normalization: std::max_element's `<` comparator
+// silently misorders NaN, so a single NaN pixel would yield a bogus peak
+// and a NaN-poisoned normalized map. Counts offending pixels into
+// `geo.nonfinite_pixels` and throws; `what` names the container in the
+// error message.
+void check_finite(const std::vector<double>& values, const char* what);
+}  // namespace detail
 
 }  // namespace spectra::geo

@@ -45,7 +45,9 @@ std::vector<PatchWindow> enumerate_windows(long height, long width, const PatchS
 
 std::vector<float> extract_context_patch(const ContextTensor& context, const PatchWindow& window,
                                          const PatchSpec& spec) {
-  spec.validate();
+#ifndef NDEBUG
+  spec.validate();  // callers own the spec; per-window cost is debug-only
+#endif
   const long C = context.steps();
   const long H = context.height();
   const long W = context.width();
@@ -69,7 +71,9 @@ std::vector<float> extract_context_patch(const ContextTensor& context, const Pat
 
 std::vector<float> extract_traffic_patch(const CityTensor& traffic, const PatchWindow& window,
                                          const PatchSpec& spec) {
-  spec.validate();
+#ifndef NDEBUG
+  spec.validate();  // callers own the spec; per-window cost is debug-only
+#endif
   const long T = traffic.steps();
   SG_CHECK(window.row >= 0 && window.row + spec.traffic_h <= traffic.height() &&
                window.col >= 0 && window.col + spec.traffic_w <= traffic.width(),
@@ -96,18 +100,23 @@ OverlapAccumulator::OverlapAccumulator(long steps, long height, long width,
 
 void OverlapAccumulator::add_patch(const PatchWindow& window, const PatchSpec& spec,
                                    const std::vector<float>& patch) {
+  add_patch(window, spec, patch.data(), patch.size());
+}
+
+void OverlapAccumulator::add_patch(const PatchWindow& window, const PatchSpec& spec,
+                                   const float* values, std::size_t size) {
   static obs::Counter& patches = obs::Registry::instance().counter("geo.patches_accumulated");
   patches.inc();
   const long T = sum_.steps();
   const long H = sum_.height();
   const long W = sum_.width();
-  SG_CHECK(static_cast<long>(patch.size()) == T * spec.traffic_h * spec.traffic_w,
+  SG_CHECK(static_cast<long>(size) == T * spec.traffic_h * spec.traffic_w,
            "patch size does not match accumulator geometry");
   std::size_t k = 0;
   for (long t = 0; t < T; ++t) {
     for (long i = 0; i < spec.traffic_h; ++i) {
       for (long j = 0; j < spec.traffic_w; ++j) {
-        const double v = static_cast<double>(patch[k++]);
+        const double v = static_cast<double>(values[k++]);
         sum_.at(t, window.row + i, window.col + j) += v;
         if (aggregation_ == OverlapAggregation::kMedian) {
           contributions_[static_cast<std::size_t>((t * H + window.row + i) * W + window.col + j)]

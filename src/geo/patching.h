@@ -40,11 +40,16 @@ struct PatchWindow {
 std::vector<PatchWindow> enumerate_windows(long height, long width, const PatchSpec& spec);
 
 // Context patch for a window: [C, Hc, Wc] flattened row-major, zero padded
-// where the halo extends outside the city.
+// where the halo extends outside the city. The spec is only
+// debug-asserted here: callers own the spec and validate it once (all of
+// them go through enumerate_windows, which does) rather than per window
+// — on a megacity grid the per-window re-validation was O(windows)
+// redundant checks.
 std::vector<float> extract_context_patch(const ContextTensor& context, const PatchWindow& window,
                                          const PatchSpec& spec);
 
 // Traffic patch for a window over all T steps: [T, Ht, Wt] flattened.
+// Same validation contract as extract_context_patch.
 std::vector<float> extract_traffic_patch(const CityTensor& traffic, const PatchWindow& window,
                                          const PatchSpec& spec);
 
@@ -62,8 +67,12 @@ class OverlapAccumulator {
   OverlapAccumulator(long steps, long height, long width,
                      OverlapAggregation aggregation = OverlapAggregation::kMean);
 
-  // Add a generated [T, Ht, Wt] patch at `window`.
+  // Add a generated [T, Ht, Wt] patch at `window`. The pointer overload
+  // reads `size` contiguous floats in place — batched generator outputs
+  // pass `traffic.data() + b * steps * pixels` directly, no scratch copy.
   void add_patch(const PatchWindow& window, const PatchSpec& spec, const std::vector<float>& patch);
+  void add_patch(const PatchWindow& window, const PatchSpec& spec, const float* values,
+                 std::size_t size);
 
   // Combined estimate; every pixel must have been covered.
   CityTensor finalize() const;

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
 #include "geo/city_tensor.h"
 #include "geo/grid.h"
 #include "geo/patching.h"
+#include "geo/strip_accumulator.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -150,6 +156,50 @@ INSTANTIATE_TEST_SUITE_P(Geometries, WindowCoverageTest,
                                          WindowCase{16, 15, 3}, WindowCase{4, 4, 2},
                                          WindowCase{21, 8, 4}, WindowCase{9, 31, 1}));
 
+// Border-clamp specifics of the sliding window: when the stride does not
+// divide H - traffic_h the final origin is clamped to end exactly at the
+// map edge, origins never repeat, and a map of exactly one patch yields
+// exactly one origin.
+TEST(EnumerateWindowsTest, ClampsFinalOriginWhenStrideDoesNotDivide) {
+  PatchSpec spec;  // traffic 4x4
+  spec.stride = 3;
+  // H = 13: origins 0, 3, 6, 9 (= 13 - 4, exact hit). W = 12: 0, 3, 6,
+  // then 9 > 12 - 4 = 8 clamps to 8.
+  const std::vector<PatchWindow> windows = enumerate_windows(13, 12, spec);
+  std::vector<long> rows, cols;
+  for (const PatchWindow& w : windows) {
+    if (w.col == 0) rows.push_back(w.row);
+    if (w.row == 0) cols.push_back(w.col);
+  }
+  EXPECT_EQ(rows, (std::vector<long>{0, 3, 6, 9}));
+  EXPECT_EQ(cols, (std::vector<long>{0, 3, 6, 8}));
+  EXPECT_EQ(windows.size(), rows.size() * cols.size());
+  EXPECT_EQ(windows.back().row, 13 - spec.traffic_h);
+  EXPECT_EQ(windows.back().col, 12 - spec.traffic_w);
+}
+
+TEST(EnumerateWindowsTest, MapOfExactlyOnePatchYieldsOneWindow) {
+  PatchSpec spec;  // traffic 4x4
+  spec.stride = 2;
+  const std::vector<PatchWindow> windows = enumerate_windows(4, 4, spec);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].row, 0);
+  EXPECT_EQ(windows[0].col, 0);
+}
+
+TEST(EnumerateWindowsTest, RectangularMapOrdersRowMajorWithoutDuplicates) {
+  PatchSpec spec;
+  spec.stride = 2;
+  // H == traffic_h: a single origin row; W = 9 clamps the last column.
+  const std::vector<PatchWindow> windows = enumerate_windows(4, 9, spec);
+  for (const PatchWindow& w : windows) EXPECT_EQ(w.row, 0);
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_GT(windows[i].col, windows[i - 1].col) << "origins must be strictly increasing";
+  }
+  EXPECT_EQ(windows.back().col, 9 - spec.traffic_w);
+  EXPECT_THROW(enumerate_windows(3, 9, spec), spectra::Error);  // smaller than one patch
+}
+
 TEST(PatchExtractionTest, ContextHaloZeroPadded) {
   ContextTensor context(2, 6, 6);
   for (long c = 0; c < 2; ++c) {
@@ -265,6 +315,181 @@ TEST(OverlapAccumulatorTest, UncoveredPixelRejected) {
   OverlapAccumulator acc(1, 8, 8);
   acc.add_patch({0, 0}, spec, std::vector<float>(16, 1.0f));
   EXPECT_THROW(acc.finalize(), spectra::Error);
+}
+
+// ---------------------------------------------------------------------------
+// StripAccumulator: bounded-memory sewing must be bitwise identical to the
+// dense OverlapAccumulator (DESIGN §6f).
+
+// Captures every emitted row for inspection.
+class RecordingSink : public RowSink {
+ public:
+  void consume_row(long row, const std::vector<double>& values) override {
+    rows.push_back(row);
+    data.push_back(values);  // copy: the accumulator reuses the buffer
+  }
+
+  std::vector<long> rows;
+  std::vector<std::vector<double>> data;
+};
+
+// Random patches in enumerate_windows order through both accumulators;
+// the streamed rows must match the dense canvas bit for bit.
+void expect_strip_equals_dense(long steps, long height, long width, long stride,
+                               OverlapAggregation aggregation) {
+  PatchSpec spec;
+  spec.stride = stride;
+  const std::vector<PatchWindow> windows = enumerate_windows(height, width, spec);
+  const std::size_t patch_size =
+      static_cast<std::size_t>(steps * spec.traffic_h * spec.traffic_w);
+
+  spectra::Rng rng(42);
+  std::vector<std::vector<float>> patches;
+  patches.reserve(windows.size());
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::vector<float> patch(patch_size);
+    for (float& v : patch) v = static_cast<float>(rng.uniform(-1.0, 5.0));
+    patches.push_back(std::move(patch));
+  }
+
+  OverlapAccumulator dense(steps, height, width, aggregation);
+  CityTensorSink sink(steps, height, width);
+  StripAccumulator strip(steps, height, width, sink, aggregation);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    dense.add_patch(windows[w], spec, patches[w]);
+    strip.add_patch(windows[w], spec, patches[w]);
+  }
+  strip.finish();
+
+  const CityTensor want = dense.finalize();
+  const CityTensor got = sink.take();
+  ASSERT_EQ(got.size(), want.size());
+  for (long p = 0; p < want.size(); ++p) {
+    ASSERT_EQ(got[p], want[p]) << "pixel " << p << " diverged (aggregation="
+                               << (aggregation == OverlapAggregation::kMean ? "mean" : "median")
+                               << ")";
+  }
+}
+
+TEST(StripAccumulatorTest, BitwiseEqualsDenseMean) {
+  expect_strip_equals_dense(3, 13, 12, 3, OverlapAggregation::kMean);  // clamped final strip
+  expect_strip_equals_dense(2, 12, 12, 2, OverlapAggregation::kMean);
+  expect_strip_equals_dense(1, 4, 9, 2, OverlapAggregation::kMean);  // single-strip map
+}
+
+TEST(StripAccumulatorTest, BitwiseEqualsDenseMedian) {
+  expect_strip_equals_dense(3, 13, 12, 3, OverlapAggregation::kMedian);
+  expect_strip_equals_dense(2, 12, 12, 2, OverlapAggregation::kMedian);
+}
+
+TEST(StripAccumulatorTest, RowsFinalizeAsStripsRetire) {
+  PatchSpec spec;  // traffic 4x4, stride 2
+  spec.stride = 2;
+  const long height = 10, width = 4;
+  RecordingSink sink;
+  StripAccumulator strip(1, height, width, sink);
+  const std::vector<float> patch(16, 1.0f);
+
+  const std::vector<PatchWindow> windows = enumerate_windows(height, width, spec);
+  for (const PatchWindow& w : windows) {
+    strip.add_patch(w, spec, patch);
+    // A row is emitted the moment no later window can touch it: after the
+    // strip at origin r lands, rows below r are final.
+    EXPECT_EQ(strip.rows_emitted(), w.row) << "rows below the current origin must be emitted";
+  }
+  strip.finish();
+
+  // Every row exactly once, strictly increasing.
+  ASSERT_EQ(sink.rows.size(), static_cast<std::size_t>(height));
+  for (long r = 0; r < height; ++r) EXPECT_EQ(sink.rows[static_cast<std::size_t>(r)], r);
+  EXPECT_EQ(strip.rows_emitted(), height);
+  strip.finish();  // idempotent
+  EXPECT_EQ(sink.rows.size(), static_cast<std::size_t>(height));
+}
+
+TEST(StripAccumulatorTest, RejectsOutOfOrderAndLatePatches) {
+  PatchSpec spec;
+  spec.stride = 2;
+  CityTensorSink sink(1, 8, 8);
+  StripAccumulator strip(1, 8, 8, sink);
+  const std::vector<float> patch(16, 1.0f);
+  for (const PatchWindow& w : enumerate_windows(8, 8, spec)) strip.add_patch(w, spec, patch);
+  // Origin row 0 was already finalized once the origin advanced past it.
+  EXPECT_THROW(strip.add_patch({0, 0}, spec, patch), spectra::Error);
+  strip.finish();
+  EXPECT_THROW(strip.add_patch({4, 4}, spec, patch), spectra::Error);
+}
+
+TEST(StripAccumulatorTest, UncoveredPixelRejected) {
+  PatchSpec spec;
+  CityTensorSink sink(1, 8, 8);
+  StripAccumulator strip(1, 8, 8, sink);
+  strip.add_patch({0, 0}, spec, std::vector<float>(16, 1.0f));
+  EXPECT_THROW(strip.finish(), spectra::Error);  // columns 4..7 never covered
+}
+
+TEST(SpillRowSinkTest, RoundTripsRowsThroughDisk) {
+  const long steps = 3, width = 5, rows = 7;
+  const std::string path = testing::TempDir() + "/spill_roundtrip.bin";
+  {
+    SpillRowSink sink(path, steps, width, /*batch_rows=*/2);  // force mid-run flushes
+    std::vector<double> row(static_cast<std::size_t>(steps * width));
+    for (long r = 0; r < rows; ++r) {
+      for (long k = 0; k < steps * width; ++k) {
+        row[static_cast<std::size_t>(k)] = static_cast<double>(r * 1000 + k);
+      }
+      sink.consume_row(r, row);
+    }
+    sink.close();
+    EXPECT_EQ(sink.rows_written(), rows);
+    EXPECT_EQ(sink.bytes_written(),
+              static_cast<long long>(rows * steps * width) *
+                  static_cast<long long>(sizeof(double)));
+  }
+  std::vector<double> back;
+  for (long r = rows - 1; r >= 0; --r) {  // random access, reverse order
+    read_spilled_row(path, steps, width, r, back);
+    ASSERT_EQ(back.size(), static_cast<std::size_t>(steps * width));
+    for (long k = 0; k < steps * width; ++k) {
+      EXPECT_EQ(back[static_cast<std::size_t>(k)], static_cast<double>(r * 1000 + k));
+    }
+  }
+  EXPECT_THROW(read_spilled_row(path, steps, width, rows, back), spectra::Error);
+  std::remove(path.c_str());
+}
+
+TEST(SpillRowSinkTest, RejectsOutOfOrderRows) {
+  const std::string path = testing::TempDir() + "/spill_order.bin";
+  SpillRowSink sink(path, 1, 2);
+  const std::vector<double> row(2, 0.0);
+  sink.consume_row(0, row);
+  EXPECT_THROW(sink.consume_row(2, row), spectra::Error);  // gap
+  sink.close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// NaN guards: peak normalization must fail loudly on non-finite input
+// instead of silently poisoning the map (geo.nonfinite_pixels counts).
+
+TEST(NonFiniteGuardTest, CityTensorPeakRejectsNaN) {
+  obs::Counter& bad = obs::Registry::instance().counter("geo.nonfinite_pixels");
+  const std::uint64_t before = bad.value();
+  CityTensor t(1, 2, 2);
+  t.at(0, 0, 0) = 3.0;
+  t.at(0, 1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(t.peak(), spectra::Error);
+  EXPECT_THROW(t.normalize_peak(), spectra::Error);
+  EXPECT_GT(bad.value(), before);
+}
+
+TEST(NonFiniteGuardTest, GridMapNormalizePeakRejectsInfinity) {
+  GridMap m(2, 2, {1.0, 2.0, std::numeric_limits<double>::infinity(), 4.0});
+  EXPECT_THROW(m.normalize_peak(), spectra::Error);
+  CityTensor fine(1, 1, 2);
+  fine.at(0, 0, 1) = 5.0;
+  EXPECT_NO_THROW(fine.normalize_peak());  // finite input unaffected
+  EXPECT_DOUBLE_EQ(fine.peak(), 1.0);
 }
 
 }  // namespace

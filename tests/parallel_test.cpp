@@ -228,6 +228,43 @@ TEST(ParallelDeterminismTest, GenerateCityBitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+// The ISSUE acceptance gate: the strip-streamed path must be bitwise
+// identical to the legacy dense path at 24x24 for 1 and 8 threads, for
+// both aggregation modes. The two paths share for_each_generated_patch,
+// so a divergence would localize to the accumulators.
+geo::CityTensor run_citygen_24(std::size_t threads, geo::OverlapAggregation aggregation,
+                               bool streamed) {
+  ThreadsOverride guard(threads);
+  const core::SpectraGanConfig config = tiny_config();
+  core::SpectraGan model(config, /*seed=*/16);
+  geo::ContextTensor context(config.context_channels, 24, 24);
+  Rng rng_fill(17);
+  for (double& v : context.values()) v = rng_fill.uniform(0, 1);
+  Rng rng(21);
+  const long steps = config.train_steps;
+  if (!streamed) return model.generate_city_dense(context, steps, rng, aggregation);
+  geo::CityTensorSink sink(steps, 24, 24);
+  model.generate_city_streamed(context, steps, rng, sink, aggregation);
+  return sink.take();
+}
+
+TEST(ParallelDeterminismTest, StreamedCityBitwiseEqualsDensePath) {
+  for (const geo::OverlapAggregation aggregation :
+       {geo::OverlapAggregation::kMean, geo::OverlapAggregation::kMedian}) {
+    const geo::CityTensor dense = run_citygen_24(1, aggregation, /*streamed=*/false);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      const geo::CityTensor streamed = run_citygen_24(threads, aggregation, /*streamed=*/true);
+      ASSERT_EQ(streamed.size(), dense.size());
+      for (long i = 0; i < dense.size(); ++i) {
+        ASSERT_EQ(streamed[i], dense[i])
+            << "streamed path diverges from dense at flat index " << i << " with " << threads
+            << " thread(s), aggregation "
+            << (aggregation == geo::OverlapAggregation::kMean ? "mean" : "median");
+      }
+    }
+  }
+}
+
 geo::CityTensor run_median_finalize(std::size_t threads) {
   ThreadsOverride guard(threads);
   geo::PatchSpec spec;
