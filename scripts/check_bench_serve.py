@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate the serving daemon's load behavior against BENCH_SERVE.json.
+
+Checks on a fresh bench_serve run, compared to the committed baseline:
+
+1. Determinism (hard): the run's "deterministic" flag must be true —
+   bench_serve compares every served response bitwise against a direct
+   generate_city call and refuses to emit JSON otherwise, so a false or
+   missing flag means the serve determinism contract broke.
+2. Concurrency (hard, machine-independent): in_flight_peak must reach
+   the client count of the loaded phase — the server genuinely held
+   that many requests in flight at once.
+3. Throughput under load (hard, machine-independent): the loaded
+   phase's aggregate req/s must reach at least MIN_RATIO x the solo
+   phase's req/s *within the same run*. Concurrency that serializes
+   (a global lock, a single shared workspace) fails here regardless of
+   machine speed.
+4. Absolute throughput (hard, MIN_RATIO): loaded req/s must reach at
+   least MIN_RATIO x the committed baseline. Machine-dependent, so the
+   margin is generous.
+5. Latency tail (hard, machine-independent): the loaded p99/p50 ratio
+   must stay within TAIL_SLACK x the baseline's p99/p50 ratio — a
+   fairness regression (one request starving behind batched others)
+   widens the tail even on a faster machine.
+6. Memory (hard): peak RSS growth between the solo and loaded phases
+   must stay within RSS_GROWTH_BUDGET — per-request state must be
+   pooled, not accumulated per request served.
+
+Usage: check_bench_serve.py <baseline.json> <current.json>
+"""
+
+import json
+import sys
+
+MIN_RATIO = 0.8
+TAIL_SLACK = 2.0
+RSS_GROWTH_BUDGET = 64 * 1024 * 1024
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    if len(data.get("phases", [])) < 2:
+        sys.exit(f"{path}: expected at least a solo and a loaded phase")
+    return data
+
+
+def mib(n):
+    return n / (1024.0 * 1024.0)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+
+    solo, loaded = current["phases"][0], current["phases"][-1]
+    failures = []
+
+    deterministic = current.get("deterministic", False)
+    print(f"deterministic: {deterministic}")
+    if deterministic is not True:
+        failures.append("served responses were not bitwise identical to direct generation")
+
+    peak = current["in_flight_peak"]
+    clients = loaded["clients"]
+    print(f"in-flight peak: {peak:.0f} (required {clients})")
+    if peak < clients:
+        failures.append(
+            f"in-flight peak {peak:.0f} never reached the {clients} concurrent clients")
+
+    scale = loaded["req_per_s"] / solo["req_per_s"] if solo["req_per_s"] > 0 else 0.0
+    print(f"within-run loaded/solo req/s ratio: {scale:.2f} (min {MIN_RATIO})")
+    if scale < MIN_RATIO:
+        failures.append(
+            f"loaded throughput {loaded['req_per_s']:.2f} req/s fell below {MIN_RATIO} x "
+            f"solo {solo['req_per_s']:.2f} req/s — concurrency is serializing")
+
+    base_rate = baseline["req_per_s"]
+    cur_rate = current["req_per_s"]
+    ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+    print(f"loaded throughput: {cur_rate:.2f} req/s vs baseline {base_rate:.2f} "
+          f"(ratio {ratio:.2f}, min {MIN_RATIO})")
+    if ratio < MIN_RATIO:
+        failures.append(
+            f"loaded throughput {cur_rate:.2f} req/s < {MIN_RATIO} x baseline {base_rate:.2f}")
+
+    base_tail = baseline["p99_s"] / baseline["p50_s"] if baseline["p50_s"] > 0 else 1.0
+    cur_tail = current["p99_s"] / current["p50_s"] if current["p50_s"] > 0 else 1.0
+    print(f"loaded p99/p50: {cur_tail:.2f} vs baseline {base_tail:.2f} "
+          f"(max {TAIL_SLACK} x baseline)")
+    if cur_tail > TAIL_SLACK * base_tail:
+        failures.append(
+            f"latency tail widened: p99/p50 {cur_tail:.2f} > {TAIL_SLACK} x "
+            f"baseline {base_tail:.2f}")
+
+    growth = current["rss_growth_bytes"]
+    print(f"rss growth solo->loaded: {mib(growth):.1f} MiB "
+          f"(budget {mib(RSS_GROWTH_BUDGET):.1f} MiB)")
+    if growth > RSS_GROWTH_BUDGET:
+        failures.append(
+            f"peak RSS grew {mib(growth):.1f} MiB under load "
+            f"(budget {mib(RSS_GROWTH_BUDGET):.1f} MiB) — per-request state is accumulating")
+
+    if failures:
+        print("\nserve load gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nserve load gate passed")
+
+
+if __name__ == "__main__":
+    main()

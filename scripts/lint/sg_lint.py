@@ -84,9 +84,13 @@ MUTABLE_STATIC_ALLOWLIST = {
     # Pool worker flag: per-thread marker that enables nested-inline
     # execution; written only by the owning thread.
     "src/util/thread_pool.cpp:tls_in_worker",
-    # GEMM scratch arenas: per-thread, grow-only, zero steady-state
-    # allocation contract asserted by gemm_test via gemm.workspace_grows.
-    "src/nn/gemm.cpp:arenas",
+    # GEMM scratch routing: per-thread pointer to the bound Workspace,
+    # written only by the owning thread via WorkspaceScope (serve daemon
+    # binds request-owned arenas); and the per-thread default arena set —
+    # grow-only, zero steady-state allocation contract asserted by
+    # gemm_test via gemm.workspace_grows.
+    "src/nn/gemm.cpp:tls_workspace",
+    "src/nn/gemm.cpp:tls_default_workspace",
     # Inference-mode flag: per-thread autograd switch (InferenceGuard).
     "src/nn/autograd.cpp:g_inference_mode",
     # Metrics registry singleton: append-only registration behind a mutex.

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Aggregate SPECTRA_RUNMETA manifests into a nightly job-summary table.
+
+Every binary in this repo writes a machine-diffable run manifest when
+SPECTRA_RUNMETA is set (src/obs/run_manifest.cpp): name, git sha, build
+type, wall seconds, the SPECTRA_* environment, and a full metrics
+snapshot. The nightly workflow collects every manifest its jobs left
+behind and this script renders them as one GitHub-flavored markdown
+table so a regression (wall time drifting up across the 10x serve soak,
+peak RSS creeping between runs) is visible at a glance on the run page.
+
+Usage: nightly_summary.py <manifest.json | dir>... [> $GITHUB_STEP_SUMMARY]
+
+Directories are searched recursively for *run*.json. Files that fail to
+parse are reported in the table rather than aborting the summary — one
+truncated manifest must not hide the other nine.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def collect(args):
+    paths = []
+    for arg in args:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            paths.extend(sorted(p.rglob("*run*.json")))
+        elif p.exists():
+            paths.append(p)
+    return paths
+
+
+def mib(value):
+    return value / (1024.0 * 1024.0)
+
+
+def row(path):
+    try:
+        with open(path) as f:
+            m = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return f"| `{path.name}` | — | — | — | — | — | — | parse failed: {err} |"
+
+    name = m.get("name", "?")
+    sha = str(m.get("git_sha", "?"))[:12]
+    build = m.get("build_type", "?")
+    wall = m.get("wall_seconds")
+    wall_s = f"{wall:.1f}" if isinstance(wall, (int, float)) else "—"
+
+    metrics = m.get("metrics", {})
+    peak = metrics.get("max_gauges", {}).get("proc.peak_rss_bytes")
+    peak_s = f"{mib(peak):.0f}" if isinstance(peak, (int, float)) and peak > 0 else "—"
+
+    counters = metrics.get("counters", {})
+    served = counters.get("serve.requests_completed")
+    served_s = f"{served:.0f}" if isinstance(served, (int, float)) else "—"
+
+    note = ""
+    hist = metrics.get("histograms", {}).get("serve.req_seconds", {})
+    if hist.get("count"):
+        note = f"req p50 {hist.get('p50', 0):.3f}s / p99 {hist.get('p99', 0):.3f}s"
+
+    return (f"| `{path.name}` | {name} | {sha} | {build} | {wall_s} "
+            f"| {peak_s} | {served_s} | {note} |")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    paths = collect(sys.argv[1:])
+    print("### Nightly run manifests")
+    print()
+    if not paths:
+        print("No run manifests found — every nightly job should leave at "
+              "least one via SPECTRA_RUNMETA.")
+        sys.exit(1)
+    print("| manifest | run | git | build | wall (s) | peak RSS (MiB) "
+          "| served reqs | latency |")
+    print("|---|---|---|---|---|---|---|---|")
+    for path in paths:
+        print(row(path))
+    print()
+    print(f"{len(paths)} manifest(s) aggregated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/error.h"
+#include "util/log.h"
 
 namespace spectra::geo {
 
@@ -45,7 +46,25 @@ SpillRowSink::SpillRowSink(const std::string& path, long steps, long width, long
   buffer_.reserve(static_cast<std::size_t>(batch_rows_ * row_values_));
 }
 
-SpillRowSink::~SpillRowSink() { close(); }
+namespace {
+
+obs::Counter& sink_write_errors() {
+  static obs::Counter& c = obs::Registry::instance().counter("geo.sink_write_errors");
+  return c;
+}
+
+}  // namespace
+
+SpillRowSink::~SpillRowSink() {
+  // A throw during unwinding would terminate the process; the typed-error
+  // contract is that write failures are catchable, so the destructor
+  // degrades to log-and-count (close() already incremented the counter).
+  try {
+    close();
+  } catch (const SinkWriteError& e) {
+    SG_LOG_ERROR << "SpillRowSink: dropping write failure in destructor: " << e.what();
+  }
+}
 
 void SpillRowSink::consume_row(long row, const std::vector<double>& values) {
   static obs::Counter& spilled = obs::Registry::instance().counter("geo.rows_spilled");
@@ -61,7 +80,15 @@ void SpillRowSink::consume_row(long row, const std::vector<double>& values) {
 void SpillRowSink::flush() {
   if (buffer_.empty() || file_ == nullptr) return;
   const std::size_t wrote = std::fwrite(buffer_.data(), sizeof(double), buffer_.size(), file_);
-  SG_CHECK(wrote == buffer_.size(), "SpillRowSink short write to " + path_);
+  if (wrote != buffer_.size()) {
+    sink_write_errors().inc();
+    // The file is unusable past a short write (the row framing is torn);
+    // close it so later consume_row calls fail fast instead of appending
+    // misaligned records.
+    std::fclose(file_);
+    file_ = nullptr;
+    throw SinkWriteError("SpillRowSink short write to " + path_);
+  }
   rows_written_ += static_cast<long>(buffer_.size()) / row_values_;
   bytes_written_ += static_cast<long long>(wrote * sizeof(double));
   buffer_.clear();
@@ -70,8 +97,14 @@ void SpillRowSink::flush() {
 void SpillRowSink::close() {
   if (file_ == nullptr) return;
   flush();
-  std::fclose(file_);
+  std::FILE* f = file_;
   file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    // fclose flushes the stdio buffer, so ENOSPC surfaces here even when
+    // every fwrite "succeeded" into the buffer.
+    sink_write_errors().inc();
+    throw SinkWriteError("SpillRowSink failed to close " + path_);
+  }
 }
 
 void read_spilled_row(const std::string& path, long steps, long width, long row,

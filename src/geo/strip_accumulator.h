@@ -24,8 +24,21 @@
 #include <vector>
 
 #include "geo/patching.h"
+#include "util/error.h"
 
 namespace spectra::geo {
+
+// Typed failure for sink-side write errors (short fwrite, failed close,
+// a downstream consumer that cannot accept more rows). Callers stream
+// cities into external media, so a mid-stream write failure is an
+// *expected* runtime condition: it must propagate as a catchable error —
+// counted in `geo.sink_write_errors` — never abort the process. In
+// particular SpillRowSink's destructor swallows (and counts) a failing
+// final flush instead of throwing during unwinding.
+class SinkWriteError : public Error {
+ public:
+  explicit SinkWriteError(std::string message) : Error(std::move(message)) {}
+};
 
 // Receives finalized rows in strictly increasing row order, each exactly
 // once. `values` is the row in t-major layout: values[t * width + col].
@@ -68,10 +81,15 @@ class SpillRowSink : public RowSink {
   SpillRowSink(const SpillRowSink&) = delete;
   SpillRowSink& operator=(const SpillRowSink&) = delete;
 
+  // Throws SinkWriteError when the batched fwrite comes up short (disk
+  // full, pipe closed); the failure is counted in `geo.sink_write_errors`
+  // and the sink stays closed afterwards.
   void consume_row(long row, const std::vector<double>& values) override;
 
-  // Flush buffered rows and close the file (idempotent; also run by the
-  // destructor). After close(), `bytes_written` is the final file size.
+  // Flush buffered rows and close the file (idempotent). Throws
+  // SinkWriteError when the final flush or fclose fails; the destructor
+  // runs the same teardown but logs-and-counts instead of throwing.
+  // After close(), `bytes_written` is the final file size.
   void close();
 
   long rows_written() const { return rows_written_; }

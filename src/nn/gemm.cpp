@@ -22,7 +22,21 @@ obs::Counter& calls_counter() {
   return c;
 }
 
-constexpr int kScratchSlots = 3;
+obs::Gauge& bytes_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("gemm.workspace_bytes");
+  return g;
+}
+
+// The active workspace of this thread: null means the implicit
+// thread-local default below. WorkspaceScope swaps request-owned
+// workspaces in and out (serve daemon); kernels never see the
+// difference.
+thread_local Workspace* tls_workspace = nullptr;
+
+Workspace& thread_default_workspace() {
+  thread_local Workspace tls_default_workspace;
+  return tls_default_workspace;
+}
 
 // Pack the (kc × nc) block of op(B) starting at (pc, jc) into kNR-wide
 // column panels: dst[panel jp][p][j] at offset (jp*kc + p)*kNR + j.
@@ -126,17 +140,43 @@ constexpr MicroFn kMicroKernels[kMR] = {micro_kernel<1>, micro_kernel<2>, micro_
 
 }  // namespace
 
-float* scratch(int slot, std::size_t floats) {
+Workspace::~Workspace() { release(); }
+
+float* Workspace::get(int slot, std::size_t floats) {
   SG_CHECK(slot >= 0 && slot < kScratchSlots, "gemm scratch slot out of range");
-  thread_local std::vector<float> arenas[kScratchSlots];
-  std::vector<float>& arena = arenas[slot];
+  std::vector<float>& arena = arenas_[slot];
   if (arena.size() < floats) {
+    const std::size_t grown = floats - arena.size();
     arena.resize(floats);
     grows_counter().inc();
-    static obs::Gauge& bytes = obs::Registry::instance().gauge("gemm.workspace_bytes");
-    bytes.add(static_cast<double>(floats * sizeof(float)));
+    bytes_gauge().add(static_cast<double>(grown * sizeof(float)));
   }
   return arena.data();
+}
+
+void Workspace::release() {
+  const std::size_t held = bytes();
+  if (held == 0) return;
+  for (std::vector<float>& arena : arenas_) {
+    arena.clear();
+    arena.shrink_to_fit();
+  }
+  bytes_gauge().add(-static_cast<double>(held));
+}
+
+std::size_t Workspace::bytes() const {
+  std::size_t total = 0;
+  for (const std::vector<float>& arena : arenas_) total += arena.size() * sizeof(float);
+  return total;
+}
+
+WorkspaceScope::WorkspaceScope(Workspace& ws) : prev_(tls_workspace) { tls_workspace = &ws; }
+
+WorkspaceScope::~WorkspaceScope() { tls_workspace = prev_; }
+
+float* scratch(int slot, std::size_t floats) {
+  Workspace* ws = tls_workspace;
+  return (ws != nullptr ? *ws : thread_default_workspace()).get(slot, floats);
 }
 
 void sgemm(Trans ta, Trans tb, long m, long n, long k, const float* a, long lda, const float* b,

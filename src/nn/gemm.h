@@ -14,13 +14,18 @@
 // and results are bitwise identical for any thread count.
 //
 // Steady-state allocation-free: packed panels live in monotonically
-// growing thread_local arenas (see `scratch`); repeated calls at the
+// growing arenas (see `Workspace` / `scratch`); repeated calls at the
 // same or smaller shapes never allocate. `gemm.workspace_grows` /
-// `gemm.workspace_bytes` instrument the arena.
+// `gemm.workspace_bytes` instrument the arena. By default every thread
+// owns one implicit Workspace for its whole lifetime; long-running
+// callers (the serve daemon, DESIGN §6g) bind an explicit per-request
+// Workspace with WorkspaceScope so scratch memory is accounted to — and
+// reclaimable with — the request instead of the thread.
 
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace spectra::nn::gemm {
 
@@ -45,12 +50,64 @@ inline constexpr long kNC = 256;
 void sgemm(Trans ta, Trans tb, long m, long n, long k, const float* a, long lda, const float* b,
            long ldb, float* c, long ldc, bool accumulate);
 
-// Reusable per-thread scratch buffer. Each slot is an independent
-// monotonically-growing thread_local arena; a slot's pointer is valid
-// until the same thread requests the same slot again. Slot 0 is reserved
-// for sgemm's packed-B panels; conv2d lowering uses slots 1 (im2col
-// columns) and 2 (backward dcol). Grows are counted in
-// `gemm.workspace_grows`; repeated requests at steady state are free.
+// Arena slots per workspace: slot 0 is reserved for sgemm's packed-B
+// panels; conv2d lowering uses slots 1 (im2col columns) and 2 (backward
+// dcol).
+inline constexpr int kScratchSlots = 3;
+
+// A set of monotonically-growing scratch arenas. One thread-local
+// instance backs `scratch` by default; the serve layer keeps a pool of
+// explicit instances so every request's packed-panel memory has request
+// lifetime (bound via WorkspaceScope, released or recycled when the
+// request retires). Not thread-safe: a Workspace must be bound to at
+// most one thread at a time.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  ~Workspace();
+
+  // Slot arena of at least `floats` floats; grows (counted in
+  // `gemm.workspace_grows`, sized in `gemm.workspace_bytes`) only when
+  // the current capacity is smaller. The pointer is valid until the next
+  // get() on the same slot.
+  float* get(int slot, std::size_t floats);
+
+  // Free every arena (capacity returns to zero); `gemm.workspace_bytes`
+  // is decremented accordingly. The daemon trims retired request
+  // workspaces through this.
+  void release();
+
+  // Bytes currently held across all slots.
+  std::size_t bytes() const;
+
+ private:
+  std::vector<float> arenas_[kScratchSlots];
+};
+
+// Bind `ws` as the calling thread's scratch workspace for the scope
+// lifetime; nestable, restores the previous binding on destruction. The
+// serve worker installs the request's workspace here — generation runs
+// inline on that worker (nested parallel_for executes inline from pool
+// workers), so every kernel scratch request of the request lands in its
+// own arena.
+class WorkspaceScope {
+ public:
+  explicit WorkspaceScope(Workspace& ws);
+  ~WorkspaceScope();
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  Workspace* prev_;
+};
+
+// Reusable scratch arena of the calling thread's bound Workspace (the
+// implicit thread-local one unless a WorkspaceScope is active). A slot's
+// pointer is valid until the same thread requests the same slot again.
+// Grows are counted in `gemm.workspace_grows`; repeated requests at
+// steady state are free.
 float* scratch(int slot, std::size_t floats);
 
 }  // namespace spectra::nn::gemm

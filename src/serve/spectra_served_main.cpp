@@ -1,0 +1,52 @@
+// spectra_served: the generation-as-a-service daemon (DESIGN §6g).
+//
+// Speaks the serve/protocol.h frame protocol on stdin/stdout and logs to
+// stderr. Weights load once at startup and are shared read-only across
+// every request; concurrency and backpressure come from the env knobs:
+//
+//   SPECTRA_SERVE_WEIGHTS  checkpoint dir to restore weights from
+//                          (empty => freshly initialized model)
+//   SPECTRA_SERVE_SEED     model init seed (default: config seed)
+//   SPECTRA_SERVE_WORKERS  concurrent in-flight requests (default 8)
+//   SPECTRA_SERVE_QUEUE    queued-request limit (default 32)
+//
+// Exits 0 on clean client EOF, after draining every in-flight request.
+
+#include <cstdio>
+
+#include "core/config.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/weights_registry.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/log.h"
+
+int main() {
+  using namespace spectra;
+  try {
+    core::SpectraGanConfig config;
+    config.validate();
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        env_long("SPECTRA_SERVE_SEED", static_cast<long>(config.seed)));
+    const std::string weights_dir = env_string("SPECTRA_SERVE_WEIGHTS", "");
+
+    serve::WeightsRegistry registry;
+    std::shared_ptr<const core::SpectraGan> model =
+        registry.get_or_load(config, weights_dir, seed);
+
+    serve::Server server(model, serve::ServerOptions::from_env());
+    SG_LOG_INFO << "spectra_served: " << server.options().workers << " workers, queue limit "
+                << server.options().queue_limit
+                << (weights_dir.empty() ? ", fresh weights" : ", weights from " + weights_dir);
+
+    const serve::DaemonStats stats = serve::daemon_loop(stdin, stdout, server);
+    server.stop();
+    SG_LOG_INFO << "spectra_served: served " << stats.requests << " requests, "
+                << stats.protocol_errors << " protocol errors";
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spectra_served: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+#include "serve/weights_registry.h"
+
+#include <utility>
+#include <vector>
+
+#include "train/checkpoint.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace spectra::serve {
+
+namespace {
+
+void copy_into(const std::vector<nn::Tensor>& saved, std::vector<nn::Var> params,
+               const char* which) {
+  SG_CHECK(saved.size() == params.size(),
+           std::string("serve weights: ") + which + " parameter count mismatch");
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    SG_CHECK(saved[k].same_shape(params[k].value()),
+             std::string("serve weights: ") + which + " parameter shape mismatch");
+    params[k].value_mut() = saved[k];
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const core::SpectraGan> WeightsRegistry::get_or_load(
+    const core::SpectraGanConfig& config, const std::string& checkpoint_dir,
+    std::uint64_t seed) {
+  const std::string key = checkpoint_dir + "#" + std::to_string(seed);
+  std::lock_guard lock(mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  auto model = std::make_shared<core::SpectraGan>(config, seed);
+  if (!checkpoint_dir.empty()) {
+    std::optional<train::ModelWeights> weights = train::load_latest_weights(checkpoint_dir);
+    SG_CHECK(weights.has_value(),
+             "serve weights: no usable checkpoint in " + checkpoint_dir);
+    copy_into(weights->gen_params, model->generator_parameters(), "generator");
+    copy_into(weights->disc_params, model->discriminator_parameters(), "discriminator");
+    SG_LOG_INFO << "serve: loaded weights from " << checkpoint_dir << " at iteration "
+                << weights->iteration;
+  }
+
+  std::shared_ptr<const core::SpectraGan> frozen = std::move(model);
+  cache_.emplace(key, frozen);
+  return frozen;
+}
+
+}  // namespace spectra::serve

@@ -1,0 +1,38 @@
+// Shared read-only model weights for serving (DESIGN §6g).
+//
+// A serving process loads weights exactly once per (checkpoint dir,
+// init seed) and hands the same immutable `const SpectraGan` to every
+// server and request — `generate_city_streamed` is const and the model
+// has no mutable state, so concurrent requests share it without
+// synchronization. The registry is a plain object owned by the daemon
+// (or a test), not a global: ownership and lifetime stay explicit.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace spectra::serve {
+
+class WeightsRegistry {
+ public:
+  // Build a model from `config` seeded with `seed`; when `checkpoint_dir`
+  // is non-empty, restore the generator/discriminator parameters of the
+  // newest valid training snapshot there (train::load_latest_weights) —
+  // throws spectra::Error if the directory holds no usable snapshot or
+  // its shapes do not match `config`. Repeated calls with the same
+  // (checkpoint_dir, seed) return the same shared instance.
+  std::shared_ptr<const core::SpectraGan> get_or_load(const core::SpectraGanConfig& config,
+                                                      const std::string& checkpoint_dir,
+                                                      std::uint64_t seed);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const core::SpectraGan>> cache_;
+};
+
+}  // namespace spectra::serve

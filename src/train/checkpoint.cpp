@@ -392,4 +392,14 @@ std::optional<TrainingSnapshot> load_latest(const std::string& dir) {
   return std::nullopt;
 }
 
+std::optional<ModelWeights> load_latest_weights(const std::string& dir) {
+  std::optional<TrainingSnapshot> snap = load_latest(dir);
+  if (!snap) return std::nullopt;
+  ModelWeights weights;
+  weights.iteration = snap->iteration;
+  weights.gen_params = std::move(snap->gen_params);
+  weights.disc_params = std::move(snap->disc_params);
+  return weights;
+}
+
 }  // namespace spectra::train

@@ -94,4 +94,16 @@ std::vector<std::string> list_checkpoints(const std::string& dir);
 // and the next-older one is tried; nullopt when none is usable.
 std::optional<TrainingSnapshot> load_latest(const std::string& dir);
 
+// Read-only weight loading for serving (DESIGN §6g): the generator and
+// discriminator parameters of the newest valid snapshot, without the
+// optimizer moments, Rng stream, or histories a resumed *training* run
+// needs. The serve weights registry loads these once per checkpoint
+// directory and shares them immutably across every request.
+struct ModelWeights {
+  std::uint64_t iteration = 0;
+  std::vector<nn::Tensor> gen_params;
+  std::vector<nn::Tensor> disc_params;
+};
+std::optional<ModelWeights> load_latest_weights(const std::string& dir);
+
 }  // namespace spectra::train

@@ -305,5 +305,67 @@ TEST(GemmTest, WorkspaceArenaDoesNotGrowInSteadyState) {
   set_parallel_threads(0);
 }
 
+// --- per-request workspaces (serving, DESIGN §6g) ---
+
+TEST(GemmTest, WorkspaceScopeRedirectsScratchThenRestores) {
+  gemm::Workspace ws;
+  EXPECT_EQ(ws.bytes(), 0u);
+  float* fallback = gemm::scratch(0, 16);  // thread-default arena
+  {
+    gemm::WorkspaceScope scope(ws);
+    float* bound = gemm::scratch(0, 1024);
+    ASSERT_NE(bound, nullptr);
+    EXPECT_NE(bound, fallback);
+    EXPECT_EQ(ws.bytes(), 1024 * sizeof(float));
+    // Smaller request on the same slot reuses the arena without growth.
+    EXPECT_EQ(gemm::scratch(0, 512), bound);
+    EXPECT_EQ(ws.bytes(), 1024 * sizeof(float));
+  }
+  // Scope gone: scratch falls back to the thread-default arena.
+  EXPECT_EQ(gemm::scratch(0, 16), fallback);
+  ws.release();
+  EXPECT_EQ(ws.bytes(), 0u);
+}
+
+TEST(GemmTest, WorkspaceScopesNest) {
+  gemm::Workspace outer_ws;
+  gemm::Workspace inner_ws;
+  gemm::WorkspaceScope outer(outer_ws);
+  float* outer_ptr = gemm::scratch(1, 64);
+  {
+    gemm::WorkspaceScope inner(inner_ws);
+    EXPECT_NE(gemm::scratch(1, 64), outer_ptr);
+    EXPECT_EQ(inner_ws.bytes(), 64 * sizeof(float));
+  }
+  // Inner scope popped: back to the outer workspace, same storage.
+  EXPECT_EQ(gemm::scratch(1, 64), outer_ptr);
+}
+
+TEST(GemmTest, BoundWorkspaceCapturesKernelScratch) {
+  set_parallel_threads(1);
+  Rng rng(61);
+  const long m = 24, n = 96, k = 48;
+  const std::vector<float> a = random_values(m * k, rng);
+  const std::vector<float> b = random_values(k * n, rng);
+  std::vector<float> c_default(static_cast<std::size_t>(m * n));
+  std::vector<float> c_bound(static_cast<std::size_t>(m * n));
+
+  gemm::sgemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n, c_default.data(), n,
+              false);
+  gemm::Workspace ws;
+  {
+    gemm::WorkspaceScope scope(ws);
+    gemm::sgemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n, c_bound.data(), n,
+                false);
+  }
+  // The bound arena held the packed panels...
+  EXPECT_GT(ws.bytes(), 0u);
+  // ...and the result is bitwise the same as through the default arena.
+  for (long i = 0; i < m * n; ++i) {
+    ASSERT_EQ(c_bound[static_cast<std::size_t>(i)], c_default[static_cast<std::size_t>(i)]);
+  }
+  set_parallel_threads(0);
+}
+
 }  // namespace
 }  // namespace spectra::nn

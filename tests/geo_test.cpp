@@ -469,6 +469,79 @@ TEST(SpillRowSinkTest, RejectsOutOfOrderRows) {
 }
 
 // ---------------------------------------------------------------------------
+// Sink write failures: a typed, catchable SinkWriteError counted in
+// geo.sink_write_errors — never an abort, and never a terminate() from
+// a throwing destructor.
+
+// A sink whose downstream "device" fails mid-stream, the way SpillRowSink
+// fails on a short write.
+class FailingSink : public RowSink {
+ public:
+  explicit FailingSink(long fail_at) : fail_at_(fail_at) {}
+  void consume_row(long row, const std::vector<double>&) override {
+    if (row >= fail_at_) throw SinkWriteError("FailingSink rejecting row " + std::to_string(row));
+    ++rows_ok_;
+  }
+  long rows_ok() const { return rows_ok_; }
+
+ private:
+  long fail_at_;
+  long rows_ok_ = 0;
+};
+
+TEST(SinkWriteErrorTest, PropagatesThroughStripAccumulator) {
+  PatchSpec spec{.traffic_h = 4, .traffic_w = 4, .context_h = 8, .context_w = 8, .stride = 4};
+  FailingSink sink(/*fail_at=*/4);
+  StripAccumulator strip(1, 8, 8, sink);
+  const std::vector<float> patch(16, 1.0f);
+  for (const PatchWindow& w : enumerate_windows(8, 8, spec)) strip.add_patch(w, spec, patch);
+  // Rows 0..3 stream out while the second strip accumulates; row 4 hits
+  // the failing device and the typed error surfaces to the caller.
+  EXPECT_THROW(strip.finish(), SinkWriteError);
+  EXPECT_EQ(sink.rows_ok(), 4);
+}
+
+TEST(SinkWriteErrorTest, SpillRowSinkFullDeviceThrowsTypedError) {
+#ifdef __linux__
+  // /dev/full fails every write with ENOSPC: the batched fwrite (or the
+  // final fclose flush) must surface as SinkWriteError, not an abort.
+  obs::Counter& errors = obs::Registry::instance().counter("geo.sink_write_errors");
+  const std::uint64_t before = errors.value();
+  const long steps = 4, width = 64;
+  SpillRowSink sink("/dev/full", steps, width, /*batch_rows=*/2);
+  const std::vector<double> row(static_cast<std::size_t>(steps * width), 1.0);
+  bool threw = false;
+  try {
+    for (long r = 0; r < 8; ++r) sink.consume_row(r, row);
+    sink.close();
+  } catch (const SinkWriteError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_GE(errors.value(), before + 1);
+#else
+  GTEST_SKIP() << "/dev/full is Linux-specific";
+#endif
+}
+
+TEST(SinkWriteErrorTest, DestructorSwallowsCloseFailure) {
+#ifdef __linux__
+  // Dropping an unflushed sink on a full device must log-and-count, not
+  // terminate the process through a throwing destructor.
+  obs::Counter& errors = obs::Registry::instance().counter("geo.sink_write_errors");
+  const std::uint64_t before = errors.value();
+  {
+    SpillRowSink sink("/dev/full", 4, 64, /*batch_rows=*/64);
+    const std::vector<double> row(4 * 64, 1.0);
+    for (long r = 0; r < 4; ++r) sink.consume_row(r, row);
+  }  // destructor flushes, fails, and survives
+  EXPECT_GE(errors.value(), before + 1);
+#else
+  GTEST_SKIP() << "/dev/full is Linux-specific";
+#endif
+}
+
+// ---------------------------------------------------------------------------
 // NaN guards: peak normalization must fail loudly on non-finite input
 // instead of silently poisoning the map (geo.nonfinite_pixels counts).
 
