@@ -12,11 +12,14 @@
 // speedup is the contract; the parallel layer is bench_parallel_scaling's
 // subject).
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_report.h"
+#include "dsp/fft.h"
 #include "nn/autograd.h"
 #include "nn/conv.h"
 #include "nn/gemm.h"
@@ -169,14 +172,16 @@ KernelResult bench_lstm_train_step(const std::string& name, long T, long B, long
   auto zero_params = [&] {
     for (nn::Var& p : lstm.parameters()) p.zero_grad();
   };
-  // Reference: the pre-batching training path — one input projection per
-  // step through the public single-step API, same per-step head.
+  // Reference: the pre-batching, pre-fusion training path — one input
+  // projection per step and the op-by-op gate composition. (`step()` now
+  // runs the fused kernel, so composing the reference from it would hide
+  // part of the win inside the baseline.)
   r.seconds_ref = time_kernel([&] {
     zero_params();
     std::vector<nn::Var> outputs;
     nn::LstmState state = lstm.cell().initial_state(B);
     for (const nn::Var& x : inputs) {
-      state = lstm.cell().step(x, state);
+      state = lstm.cell().step_projected_unfused(lstm.cell().project_input(x), state);
       outputs.push_back(lstm.head().forward(state.h));
     }
     accumulate_loss(outputs).backward();
@@ -184,6 +189,97 @@ KernelResult bench_lstm_train_step(const std::string& name, long T, long B, long
   r.seconds_new = time_kernel([&] {
     zero_params();
     accumulate_loss(lstm.forward(inputs)).backward();
+  });
+  return r;
+}
+
+// Fusion speedup in isolation: both arms use the batched [T·B, 4H] input
+// projection; only the per-step gate math differs (op-by-op composition
+// vs the fused two-node kernel).
+KernelResult bench_lstm_fused_train(const std::string& name, long T, long B, long in, long hidden,
+                                    long out) {
+  Rng model_rng(13);
+  nn::Lstm lstm(in, hidden, out, model_rng, nn::Activation::kNone);
+  Rng rng(15);
+  std::vector<nn::Var> inputs;
+  for (long t = 0; t < T; ++t) {
+    inputs.push_back(nn::Var::constant(nn::init::gaussian({B, in}, 1.0f, rng)));
+  }
+
+  KernelResult r;
+  r.name = name;
+  r.shape = "fwd+bwd T=" + std::to_string(T) + " B=" + std::to_string(B) +
+            " in=" + std::to_string(in) + " H=" + std::to_string(hidden) +
+            " out=" + std::to_string(out);
+  r.flops_per_call = 3.0 * static_cast<double>(T) * 2.0 *
+                     static_cast<double>(B * (in * 4 * hidden + hidden * 4 * hidden + hidden * out));
+  auto accumulate_loss = [](const std::vector<nn::Var>& outputs) {
+    nn::Var loss = nn::sum(outputs.front());
+    for (std::size_t t = 1; t < outputs.size(); ++t) loss = nn::add(loss, nn::sum(outputs[t]));
+    return loss;
+  };
+  auto zero_params = [&] {
+    for (nn::Var& p : lstm.parameters()) p.zero_grad();
+  };
+  r.seconds_ref = time_kernel([&] {
+    zero_params();
+    nn::Var all = nn::concat_axis(inputs, /*axis=*/0);
+    nn::Var all_proj = lstm.cell().project_input(all);
+    nn::LstmState state = lstm.cell().initial_state(B);
+    std::vector<nn::Var> outputs;
+    for (long t = 0; t < T; ++t) {
+      nn::Var x_proj = nn::slice_axis(all_proj, /*axis=*/0, t * B, B);
+      state = lstm.cell().step_projected_unfused(x_proj, state);
+      outputs.push_back(lstm.head().forward(state.h));
+    }
+    accumulate_loss(outputs).backward();
+  });
+  r.seconds_new = time_kernel([&] {
+    zero_params();
+    accumulate_loss(lstm.forward(inputs)).backward();
+  });
+  return r;
+}
+
+std::vector<double> random_real_signal(long n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+// Real-input transform at a power-of-two length: the half-spectrum fast
+// path vs the Bluestein chirp-z evaluation of the same rfft.
+KernelResult bench_rfft_pow2(const std::string& name, long n) {
+  const std::vector<double> x = random_real_signal(n, 31);
+  KernelResult r;
+  r.name = name;
+  r.shape = "rfft N=" + std::to_string(n);
+  const double nd = static_cast<double>(n);
+  r.flops_per_call = 5.0 * nd * std::log2(nd);
+  r.seconds_ref = time_kernel([&] { dsp::detail::rfft_bluestein(x); });
+  r.seconds_new = time_kernel([&] { dsp::rfft(x); });
+  return r;
+}
+
+// Awkward-length Bluestein: per-thread scratch reuse vs the historical
+// per-call allocation of the length-m convolution buffer.
+KernelResult bench_rfft_bluestein_fallback(const std::string& name, long n) {
+  const std::vector<double> x = random_real_signal(n, 33);
+  std::vector<dsp::Complex> a(x.begin(), x.end());
+  KernelResult r;
+  r.name = name;
+  r.shape = "bluestein N=" + std::to_string(n);
+  const double nd = static_cast<double>(n);
+  r.flops_per_call = 5.0 * nd * std::log2(nd);
+  std::vector<dsp::Complex> work;
+  r.seconds_ref = time_kernel([&] {
+    work = a;
+    dsp::detail::bluestein_inplace(work, /*inverse=*/false, /*reuse_scratch=*/false);
+  });
+  r.seconds_new = time_kernel([&] {
+    work = a;
+    dsp::detail::bluestein_inplace(work, /*inverse=*/false, /*reuse_scratch=*/true);
   });
   return r;
 }
@@ -232,9 +328,14 @@ int main() {
   results.push_back(bench_conv_forward("conv_fwd_encoder2_s2", 6, 24, 8, 8, 16, 3, 2, 1));
   results.push_back(bench_conv_forward("conv_fwd_spectrum_out", 6, 32, 4, 4, 56, 3, 1, 1));
   results.push_back(bench_conv_train_step("conv_train_encoder1", 6, 27, 8, 8, 24, 3, 1, 1));
-  // Full recurrent training step at G^t shape: batched vs per-step
-  // input projection.
+  // Full recurrent training step at G^t shape: batched+fused vs the
+  // per-step unfused path, plus the fusion win in isolation.
   results.push_back(bench_lstm_train_step("lstm_train_gt", 168, 6, 28, 24, 16));
+  results.push_back(bench_lstm_fused_train("lstm_fused_train", 168, 6, 28, 24, 16));
+  // Real-input FFT: the hourly 512-bin pow2 fast path and the 168-length
+  // (hourly week) Bluestein fallback with hoisted scratch.
+  results.push_back(bench_rfft_pow2("rfft_pow2", 512));
+  results.push_back(bench_rfft_bluestein_fallback("rfft_bluestein_fallback", 168));
 
   std::printf("%-28s %-14s %-14s %-10s %-10s %s\n", "kernel", "ref s/call", "new s/call",
               "ref GF/s", "new GF/s", "speedup");

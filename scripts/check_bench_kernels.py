@@ -9,6 +9,13 @@ MIN_RATIO x the committed baseline speedup (>20% relative regression)
 or if it disappears from the bench output.  Absolute GFLOP/s drops are
 reported as warnings only.
 
+A few kernels additionally carry *absolute* speedup floors, checked on
+the committed baseline itself: these encode PR acceptance criteria (the
+fused LSTM recurrence must hold >= 1.4x over the unfused composition,
+the rfft power-of-two fast path >= 2x over Bluestein at the same
+length), so a regenerated baseline cannot quietly launder a regression
+into the new normal.
+
 Usage: check_bench_kernels.py <baseline.json> <current.json>
 """
 
@@ -16,6 +23,13 @@ import json
 import sys
 
 MIN_RATIO = 0.8
+
+# name -> minimum speedup the *committed baseline* must hold.
+ABSOLUTE_FLOORS = {
+    "lstm_train_gt": 1.4,
+    "lstm_fused_train": 1.4,
+    "rfft_pow2": 2.0,
+}
 
 
 def load(path):
@@ -33,6 +47,15 @@ def main():
     current = load(sys.argv[2])
 
     failures = []
+    for name, floor in ABSOLUTE_FLOORS.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: carries an absolute floor but is missing from baseline")
+        elif base["speedup"] < floor:
+            failures.append(
+                f"{name}: committed baseline speedup {base['speedup']:.2f}x below the "
+                f"{floor:.1f}x acceptance floor")
+
     print(f"{'kernel':<28} {'base spdup':>10} {'cur spdup':>10} {'ratio':>7}  status")
     for name, base in baseline.items():
         cur = current.get(name)

@@ -71,7 +71,8 @@ THREAD_EXEMPT = ("src/util/thread_pool.cpp", "src/util/thread_pool.h",
 DETERMINISM_DIRS = ("src/core/", "src/nn/", "src/dsp/", "src/train/")
 # Files holding the numeric kernels whose bitwise output the parallel and
 # checkpoint suites pin down.
-KERNEL_FILES = ("src/nn/gemm.cpp", "src/nn/conv.cpp")
+KERNEL_FILES = ("src/nn/gemm.cpp", "src/nn/conv.cpp", "src/nn/gemm_micro.h",
+                "src/nn/gemm_kernels_avx2.cpp", "src/nn/gemm_kernels_avx512.cpp")
 
 # Audited mutable static state: "<repo-relative-file>:<identifier>".
 # Every entry must say why it is safe.  Registry instrument lookups
@@ -103,6 +104,21 @@ MUTABLE_STATIC_ALLOWLIST = {
     # immutable after construction (DESIGN §6a).
     "src/dsp/fft.cpp:mutex",
     "src/dsp/fft.cpp:plans",
+    # rfft twiddle-plan cache: same shared_mutex + immutable-plan shape
+    # as the Bluestein cache above.
+    "src/dsp/fft.cpp:rfft_mutex",
+    "src/dsp/fft.cpp:rfft_plans",
+    # Bluestein per-thread transform scratch: grow-only buffer reused
+    # across transforms; per-thread (not plan-owned) because plans are
+    # shared read-only across threads. Holds no cross-call state — it is
+    # fully overwritten at the start of every transform.
+    "src/dsp/fft.cpp:scratch",
+    # SIMD dispatch selection: written once on first kernel use (or by
+    # the test-only set_simd_level override), then read lock-free. The
+    # level never changes results — every level is bitwise identical
+    # (gemm_micro.h) — so this is a throughput knob, not hidden
+    # numerical state.
+    "src/nn/dispatch.cpp:g_active",
 }
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,138 @@
+#include "nn/dispatch.h"
+
+#include <atomic>
+
+#include "nn/gemm_micro.h"
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace spectra::nn {
+
+namespace {
+
+obs::Gauge& simd_gauge() {
+  static obs::Gauge& g = obs::Registry::instance().gauge("gemm.simd_level");
+  return g;
+}
+
+// One-time dispatch selection. -1 = not yet selected; otherwise the
+// SimdLevel value. Concurrent first calls race benignly: both sides
+// compute the same environment-determined level and store the same
+// value, and set_simd_level (tests only) is called from a single thread.
+std::atomic<int>& active_state() {
+  static std::atomic<int> g_active{-1};
+  return g_active;
+}
+
+// Does the CPU this process runs on implement the level's ISA?
+bool cpu_supports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return true;
+    case SimdLevel::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if defined(__aarch64__)
+      return true;  // AArch64 mandates Advanced SIMD
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Did this build actually compile kernels for the level? (The per-ISA
+// TUs fall back to null accessors when the compiler lacks the target.)
+bool build_has_kernels(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return gemm::detail::kernels_generic() != nullptr;
+    case SimdLevel::kAvx2:
+      return gemm::detail::kernels_avx2() != nullptr;
+    case SimdLevel::kAvx512:
+      return gemm::detail::kernels_avx512() != nullptr;
+    case SimdLevel::kNeon:
+      return gemm::detail::kernels_neon() != nullptr;
+  }
+  return false;
+}
+
+SimdLevel select_level() {
+  const std::string requested = env_string("SPECTRA_SIMD", "");
+  if (!requested.empty()) {
+    const SimdLevel level = parse_simd_level(requested);
+    SG_CHECK(simd_level_available(level),
+             "SPECTRA_SIMD=" + requested + " is not supported by this CPU/build");
+    return level;
+  }
+  // Widest first; generic is always available.
+  for (SimdLevel level : {SimdLevel::kAvx512, SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (simd_level_available(level)) return level;
+  }
+  return SimdLevel::kGeneric;
+}
+
+void publish(SimdLevel level) {
+  simd_gauge().set(static_cast<double>(static_cast<int>(level)));
+  SG_LOG_DEBUG << "gemm simd dispatch level: " << simd_level_name(level);
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return "generic";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "generic";
+}
+
+SimdLevel parse_simd_level(const std::string& name) {
+  if (name == "generic") return SimdLevel::kGeneric;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  if (name == "neon") return SimdLevel::kNeon;
+  SG_CHECK(false, "unknown SIMD level '" + name + "' (expected generic|avx2|avx512|neon)");
+  return SimdLevel::kGeneric;
+}
+
+bool simd_level_available(SimdLevel level) {
+  return cpu_supports(level) && build_has_kernels(level);
+}
+
+SimdLevel active_simd_level() {
+  const int cached = active_state().load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<SimdLevel>(cached);
+  const SimdLevel level = select_level();
+  active_state().store(static_cast<int>(level), std::memory_order_release);
+  publish(level);
+  return level;
+}
+
+void set_simd_level(SimdLevel level) {
+  SG_CHECK(simd_level_available(level),
+           std::string("cannot force SIMD level '") + simd_level_name(level) +
+               "': not supported by this CPU/build");
+  active_state().store(static_cast<int>(level), std::memory_order_release);
+  publish(level);
+}
+
+}  // namespace spectra::nn

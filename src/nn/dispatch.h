@@ -1,0 +1,42 @@
+// Runtime SIMD dispatch for the kernel layer (DESIGN.md §6c).
+//
+// The GEMM micro-kernel is compiled at several register widths (4-lane
+// generic, 8-lane AVX2, 16-lane AVX-512, wide-unrolled NEON); at first
+// use the process picks the widest level the CPU *and* the build
+// support, overridable with the `SPECTRA_SIMD` knob (values: generic |
+// avx2 | avx512 | neon). Every level preserves the per-element reduction
+// order of the generic kernel (see gemm_micro.h), so the choice affects
+// throughput only — results are bitwise identical across levels and
+// thread counts.
+
+#pragma once
+
+#include <string>
+
+namespace spectra::nn {
+
+enum class SimdLevel { kGeneric = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+// Lower-case knob spelling ("generic", "avx2", "avx512", "neon").
+const char* simd_level_name(SimdLevel level);
+
+// Inverse of simd_level_name; SG_CHECK-fails on an unknown spelling so a
+// typo'd SPECTRA_SIMD dies loudly instead of silently running generic.
+SimdLevel parse_simd_level(const std::string& name);
+
+// True when the CPU supports the level and this build compiled its
+// kernels (a cross-compile without -mavx512f support reports false even
+// on AVX-512 hardware).
+bool simd_level_available(SimdLevel level);
+
+// The level sgemm dispatches to. Selected once on first call: honours
+// SPECTRA_SIMD when set (SG_CHECK-fails if unavailable), otherwise the
+// widest available level. Published in the `gemm.simd_level` gauge.
+SimdLevel active_simd_level();
+
+// Test override: force a specific level for the rest of the process (or
+// until the next call). SG_CHECK-fails when unavailable. Used by the
+// cross-level equality suites; production code never calls this.
+void set_simd_level(SimdLevel level);
+
+}  // namespace spectra::nn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "nn/dispatch.h"
+#include "nn/gemm_micro.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "util/error.h"
@@ -38,29 +40,31 @@ Workspace& thread_default_workspace() {
   return tls_default_workspace;
 }
 
-// Pack the (kc × nc) block of op(B) starting at (pc, jc) into kNR-wide
-// column panels: dst[panel jp][p][j] at offset (jp*kc + p)*kNR + j.
+// Pack the (kc × nc) block of op(B) starting at (pc, jc) into nr-wide
+// column panels: dst[panel jp][p][j] at offset (jp*kc + p)*nr + j.
 // Columns beyond nc are zero-padded; the padded lanes feed accumulator
-// columns that are never written back.
-void pack_b(Trans tb, const float* b, long ldb, long pc, long jc, long kc, long nc, float* dst) {
-  const long panels = (nc + kNR - 1) / kNR;
+// columns that are never written back. `nr` is the active dispatch
+// level's panel width.
+void pack_b(Trans tb, const float* b, long ldb, long pc, long jc, long kc, long nc, long nr,
+            float* dst) {
+  const long panels = (nc + nr - 1) / nr;
   for (long jp = 0; jp < panels; ++jp) {
-    const long j0 = jp * kNR;
-    const long jw = std::min(kNR, nc - j0);
-    float* panel = dst + jp * kc * kNR;
+    const long j0 = jp * nr;
+    const long jw = std::min(nr, nc - j0);
+    float* panel = dst + jp * kc * nr;
     if (tb == Trans::kNo) {
       // op(B)[p][j] = b[(pc+p)*ldb + jc+j]: copy row fragments.
       for (long p = 0; p < kc; ++p) {
         const float* src = b + (pc + p) * ldb + jc + j0;
-        float* out = panel + p * kNR;
+        float* out = panel + p * nr;
         for (long j = 0; j < jw; ++j) out[j] = src[j];
-        for (long j = jw; j < kNR; ++j) out[j] = 0.0f;
+        for (long j = jw; j < nr; ++j) out[j] = 0.0f;
       }
     } else {
-      // op(B)[p][j] = b[(jc+j)*ldb + pc+p]: gather kNR source rows.
+      // op(B)[p][j] = b[(jc+j)*ldb + pc+p]: gather nr source rows.
       for (long p = 0; p < kc; ++p) {
-        float* out = panel + p * kNR;
-        for (long j = 0; j < kNR; ++j) {
+        float* out = panel + p * nr;
+        for (long j = 0; j < nr; ++j) {
           out[j] = j < jw ? b[(jc + j0 + j) * ldb + pc + p] : 0.0f;
         }
       }
@@ -68,77 +72,59 @@ void pack_b(Trans tb, const float* b, long ldb, long pc, long jc, long kc, long 
   }
 }
 
-// Register-tiled micro-kernel: acc[MR_][kNR] += op(A) rows × packed-B
-// panel over kc, then store or add `mr`×`nr` of it into C. Accumulation
-// per element is strictly p-ascending (separate multiply and add — never
-// contracted to FMA), independent of everything but the k blocking.
-//
-// The GCC/Clang path spells the j dimension as 4-lane vector values so
-// the accumulator provably lives in SIMD registers; left as a plain
-// 2-D float loop, GCC 12 vectorizes the *p* loop instead, transposing A
-// fragments through a wall of shufps with acc spilled to the stack
-// (~1.3× naive instead of >2×).
-#if defined(__GNUC__) || defined(__clang__)
-using Vf = float __attribute__((vector_size(16), aligned(4), may_alias));
-inline constexpr long kVL = 4;  // float lanes per vector
-static_assert(kNR % kVL == 0, "panel width must be a whole number of vectors");
+// The micro-kernel template itself lives in gemm_micro.h so the per-ISA
+// TUs (gemm_kernels_avx2.cpp, gemm_kernels_avx512.cpp) instantiate the
+// same body at wider lanes. This TU owns the always-available levels:
+// the 4-lane generic tile (the pre-dispatch kernel, unchanged shapes)
+// and, on AArch64, a wider-unrolled NEON tile.
+constexpr detail::MicroKernelSet kGenericSet = {
+    /*mr=*/kMR,
+    /*nr=*/kNR,
+    {detail::micro_kernel<1, 4, 2>, detail::micro_kernel<2, 4, 2>, detail::micro_kernel<3, 4, 2>,
+     detail::micro_kernel<4, 4, 2>, nullptr, nullptr, nullptr, nullptr},
+};
+static_assert(kNR == 4 * 2, "generic tile instantiation must match gemm.h blocking constants");
 
-template <int MR_>
-void micro_kernel(long kc, const float* __restrict a, long a_row_stride, long a_col_stride,
-                  const float* __restrict bp, float* c, long ldc, long nr, bool add_to_c) {
-  constexpr int NV = static_cast<int>(kNR / kVL);
-  Vf acc[static_cast<std::size_t>(MR_)][static_cast<std::size_t>(NV)] = {};
-  for (long p = 0; p < kc; ++p) {
-    const Vf* brow = reinterpret_cast<const Vf*>(bp + p * kNR);
-    Vf bv[NV];
-    for (int v = 0; v < NV; ++v) bv[v] = brow[v];
-    for (int i = 0; i < MR_; ++i) {
-      const float av = a[i * a_row_stride + p * a_col_stride];
-      for (int v = 0; v < NV; ++v) acc[i][v] += av * bv[v];
-    }
-  }
-  for (int i = 0; i < MR_; ++i) {
-    float* crow = c + i * ldc;
-    if (nr == kNR) {
-      Vf* cv = reinterpret_cast<Vf*>(crow);
-      for (int v = 0; v < NV; ++v) cv[v] = add_to_c ? cv[v] + acc[i][v] : acc[i][v];
-    } else {
-      for (long j = 0; j < nr; ++j) {
-        const float val = acc[i][j / kVL][j % kVL];
-        crow[j] = add_to_c ? crow[j] + val : val;
-      }
-    }
-  }
-}
-#else
-template <int MR_>
-void micro_kernel(long kc, const float* a, long a_row_stride, long a_col_stride, const float* bp,
-                  float* c, long ldc, long nr, bool add_to_c) {
-  float acc[static_cast<std::size_t>(MR_)][static_cast<std::size_t>(kNR)] = {};
-  for (long p = 0; p < kc; ++p) {
-    const float* brow = bp + p * kNR;
-    for (int i = 0; i < MR_; ++i) {
-      const float av = a[i * a_row_stride + p * a_col_stride];
-      for (long j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
-    }
-  }
-  for (int i = 0; i < MR_; ++i) {
-    float* crow = c + i * ldc;
-    if (add_to_c) {
-      for (long j = 0; j < nr; ++j) crow[j] += acc[i][j];
-    } else {
-      for (long j = 0; j < nr; ++j) crow[j] = acc[i][j];
-    }
-  }
-}
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+constexpr detail::MicroKernelSet kNeonSet = {
+    /*mr=*/4,
+    /*nr=*/16,
+    {detail::micro_kernel<1, 4, 4>, detail::micro_kernel<2, 4, 4>, detail::micro_kernel<3, 4, 4>,
+     detail::micro_kernel<4, 4, 4>, nullptr, nullptr, nullptr, nullptr},
+};
 #endif
 
-using MicroFn = void (*)(long, const float*, long, long, const float*, float*, long, long, bool);
-
-constexpr MicroFn kMicroKernels[kMR] = {micro_kernel<1>, micro_kernel<2>, micro_kernel<3>,
-                                        micro_kernel<4>};
+// The register tile sgemm feeds: resolved once per call from the
+// dispatch layer (the level itself is selected once per process).
+const detail::MicroKernelSet& active_kernel_set() {
+  switch (active_simd_level()) {
+    case SimdLevel::kAvx2:
+      return *detail::kernels_avx2();
+    case SimdLevel::kAvx512:
+      return *detail::kernels_avx512();
+    case SimdLevel::kNeon:
+      return *detail::kernels_neon();
+    case SimdLevel::kGeneric:
+      break;
+  }
+  return *detail::kernels_generic();
+}
 
 }  // namespace
+
+namespace detail {
+
+const MicroKernelSet* kernels_generic() { return &kGenericSet; }
+
+const MicroKernelSet* kernels_neon() {
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+  return &kNeonSet;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace detail
 
 Workspace::~Workspace() { release(); }
 
@@ -205,33 +191,42 @@ void sgemm(Trans ta, Trans tb, long m, long n, long k, const float* a, long lda,
   const long a_row_stride = ta == Trans::kNo ? lda : 1;
   const long a_col_stride = ta == Trans::kNo ? 1 : lda;
 
+  // The register tile of the active SIMD level. Within a level the tile
+  // is fixed, the k loop stays serial, and threads still split only M —
+  // so results are bitwise identical for any thread count, and (because
+  // every level accumulates each C element in the same p-ascending
+  // order, gemm_micro.h) across dispatch levels too.
+  const detail::MicroKernelSet& ks = active_kernel_set();
+  const long mr_tile = ks.mr;
+  const long nr_tile = ks.nr;
+
   for (long jc = 0; jc < n; jc += kNC) {
     const long nc = std::min(kNC, n - jc);
-    const long panels = (nc + kNR - 1) / kNR;
+    const long panels = (nc + nr_tile - 1) / nr_tile;
     for (long pc = 0; pc < k; pc += kKC) {
       const long kc = std::min(kKC, k - pc);
       // One shared read-only packed block per (jc, pc); row panels below
       // all read it, so it is packed once on the calling thread.
-      float* bp = scratch(0, static_cast<std::size_t>(panels * kc * kNR));
-      pack_b(tb, b, ldb, pc, jc, kc, nc, bp);
+      float* bp = scratch(0, static_cast<std::size_t>(panels * kc * nr_tile));
+      pack_b(tb, b, ldb, pc, jc, kc, nc, nr_tile, bp);
 
       const bool add_to_c = accumulate || pc > 0;
-      const long row_panels = (m + kMR - 1) / kMR;
+      const long row_panels = (m + mr_tile - 1) / mr_tile;
       // Threads split only the M dimension; each row panel owns its C
       // rows and runs the identical instruction sequence regardless of
       // which thread executes it — bitwise deterministic.
       parallel_for(static_cast<std::size_t>(row_panels), /*grain=*/1,
                    [&](std::size_t begin, std::size_t end) {
                      for (std::size_t rp = begin; rp < end; ++rp) {
-                       const long i0 = static_cast<long>(rp) * kMR;
-                       const long mr = std::min(kMR, m - i0);
+                       const long i0 = static_cast<long>(rp) * mr_tile;
+                       const long mr = std::min(mr_tile, m - i0);
                        const float* abase = ta == Trans::kNo ? a + i0 * lda + pc
                                                              : a + pc * lda + i0;
-                       const MicroFn kernel = kMicroKernels[mr - 1];
+                       const detail::MicroFn kernel = ks.fns[mr - 1];
                        for (long jp = 0; jp < panels; ++jp) {
-                         const long j0 = jp * kNR;
-                         const long nr = std::min(kNR, nc - j0);
-                         kernel(kc, abase, a_row_stride, a_col_stride, bp + jp * kc * kNR,
+                         const long j0 = jp * nr_tile;
+                         const long nr = std::min(nr_tile, nc - j0);
+                         kernel(kc, abase, a_row_stride, a_col_stride, bp + jp * kc * nr_tile,
                                 c + i0 * ldc + jc + j0, ldc, nr, add_to_c);
                        }
                      }

@@ -1,0 +1,32 @@
+// AVX2 instantiation of the shared micro-kernel (gemm_micro.h): 6×16
+// register tile spelled as two 8-lane vectors per row — 12 accumulator
+// ymm + 2 panel ymm + 1 broadcast of the 16 architectural registers.
+//
+// Compiled with -mavx2 -ffp-contract=off (see src/CMakeLists.txt); when
+// the toolchain cannot target AVX2 this TU degrades to a null accessor
+// and the dispatch layer reports the level unavailable.
+
+#include "nn/gemm_micro.h"
+
+namespace spectra::nn::gemm::detail {
+
+#if defined(__x86_64__) && defined(__AVX2__) && (defined(__GNUC__) || defined(__clang__))
+
+namespace {
+constexpr MicroKernelSet kAvx2Set = {
+    /*mr=*/6,
+    /*nr=*/16,
+    {micro_kernel<1, 8, 2>, micro_kernel<2, 8, 2>, micro_kernel<3, 8, 2>, micro_kernel<4, 8, 2>,
+     micro_kernel<5, 8, 2>, micro_kernel<6, 8, 2>, nullptr, nullptr},
+};
+}  // namespace
+
+const MicroKernelSet* kernels_avx2() { return &kAvx2Set; }
+
+#else
+
+const MicroKernelSet* kernels_avx2() { return nullptr; }
+
+#endif
+
+}  // namespace spectra::nn::gemm::detail

@@ -1,0 +1,36 @@
+// AVX-512 instantiation of the shared micro-kernel (gemm_micro.h): 8×32
+// register tile spelled as two 16-lane vectors per row — 16 accumulator
+// zmm + 2 panel zmm + 1 broadcast of the 32 architectural registers.
+//
+// Compiled with -mavx512f -ffp-contract=off (see src/CMakeLists.txt).
+// The contract flag matters here: AVX-512F implies FMA hardware, and a
+// contracted fused multiply-add would change the rounding of every
+// accumulation step and break cross-level bitwise equality. When the
+// toolchain cannot target AVX-512 this TU degrades to a null accessor
+// and the dispatch layer reports the level unavailable.
+
+#include "nn/gemm_micro.h"
+
+namespace spectra::nn::gemm::detail {
+
+#if defined(__x86_64__) && defined(__AVX512F__) && (defined(__GNUC__) || defined(__clang__))
+
+namespace {
+constexpr MicroKernelSet kAvx512Set = {
+    /*mr=*/8,
+    /*nr=*/32,
+    {micro_kernel<1, 16, 2>, micro_kernel<2, 16, 2>, micro_kernel<3, 16, 2>,
+     micro_kernel<4, 16, 2>, micro_kernel<5, 16, 2>, micro_kernel<6, 16, 2>,
+     micro_kernel<7, 16, 2>, micro_kernel<8, 16, 2>},
+};
+}  // namespace
+
+const MicroKernelSet* kernels_avx512() { return &kAvx512Set; }
+
+#else
+
+const MicroKernelSet* kernels_avx512() { return nullptr; }
+
+#endif
+
+}  // namespace spectra::nn::gemm::detail

@@ -47,6 +47,16 @@ LstmState LSTMCell::step_projected(const Var& x_proj, const LstmState& state) co
                       static_cast<double>(hidden_size_);
     obs::profile_add_work(40.0 * bh, 10.0 * bh * 4.0);
   }
+  // Single fused gate kernel (two autograd nodes) instead of the ~12-node
+  // unfused composition below; bitwise-identical forward and backward
+  // (asserted by layers_test against step_projected_unfused).
+  auto [h_next, c_next] = lstm_fused_step(x_proj, state.h, state.c, weight_h_, bias_);
+  return {h_next, c_next};
+}
+
+LstmState LSTMCell::step_projected_unfused(const Var& x_proj, const LstmState& state) const {
+  SG_CHECK(x_proj.value().rank() == 2 && x_proj.value().dim(1) == 4 * hidden_size_,
+           "LSTMCell projected input must be [B, 4*hidden]");
   Var gates = add_rowvec(add(x_proj, matmul(state.h, weight_h_)), bias_);
   const long H = hidden_size_;
   Var i = sigmoid(slice_cols(gates, 0, H));

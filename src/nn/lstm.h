@@ -35,8 +35,17 @@ class LSTMCell : public Module {
   // matmuls into a single [T·B, 4H] product.
   Var project_input(const Var& x) const;
 
-  // One step from a precomputed input projection ([B, 4*hidden]).
+  // One step from a precomputed input projection ([B, 4*hidden]). Runs
+  // the fused gate kernel (ops.h lstm_fused_step): one autograd node
+  // pair per step instead of the ~12-node op composition.
   LstmState step_projected(const Var& x_proj, const LstmState& state) const;
+
+  // The pre-fusion op-by-op composition (add_rowvec/slice/sigmoid/tanh/
+  // mul chains). Kept as the reference the fused kernel is tested
+  // bitwise against, and as the honest baseline for bench_kernels'
+  // lstm speedup entries. Produces identical values and gradients to
+  // step_projected, just slower.
+  LstmState step_projected_unfused(const Var& x_proj, const LstmState& state) const;
 
   long input_size() const { return input_size_; }
   long hidden_size() const { return hidden_size_; }

@@ -15,11 +15,13 @@
 #include <vector>
 
 #include "nn/conv.h"
+#include "nn/dispatch.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "nn/lstm.h"
 #include "nn/ops.h"
 #include "obs/metrics.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -97,6 +99,39 @@ TEST(GemmTest, BlockedShapesCrossEveryBlockBoundary) {
   check_variant(Trans::kTrans, Trans::kNo, 7, gemm::kNC + 13, 21, false, rng);
   check_variant(Trans::kNo, Trans::kNo, gemm::kMR + 1, gemm::kNR + 1, 3, true, rng);
   check_variant(Trans::kNo, Trans::kNo, 1, 1, 1, false, rng);
+}
+
+// Every dispatch level must reproduce the ordered reference bitwise: the
+// wider kernels change which C columns share a register, never the
+// per-element reduction order. Runs whatever levels this CPU and build
+// support (generic always; avx2/avx512 on x86 CI hosts).
+TEST(GemmTest, EverySimdLevelMatchesOrderedReferenceExactly) {
+  const SimdLevel restore = active_simd_level();
+  for (const SimdLevel level :
+       {SimdLevel::kGeneric, SimdLevel::kAvx2, SimdLevel::kAvx512, SimdLevel::kNeon}) {
+    if (!simd_level_available(level)) continue;
+    set_simd_level(level);
+    Rng rng(3000 + static_cast<std::uint64_t>(level));
+    // Shapes straddling each level's tile: mr up to 8, nr up to 32.
+    check_variant(Trans::kNo, Trans::kNo, 9, 33, gemm::kKC + 7, false, rng);
+    check_variant(Trans::kNo, Trans::kTrans, 8, 32, 19, true, rng);
+    check_variant(Trans::kTrans, Trans::kNo, 3, 5, 41, false, rng);
+    check_variant(Trans::kNo, Trans::kNo, 1, 1, 1, true, rng);
+  }
+  set_simd_level(restore);
+}
+
+TEST(GemmTest, ParseSimdLevelRoundTripsAndRejectsTypos) {
+  for (const SimdLevel level :
+       {SimdLevel::kGeneric, SimdLevel::kAvx2, SimdLevel::kAvx512, SimdLevel::kNeon}) {
+    EXPECT_EQ(parse_simd_level(simd_level_name(level)), level);
+  }
+  EXPECT_THROW(parse_simd_level("avx9000"), spectra::Error);
+  EXPECT_THROW(parse_simd_level(""), spectra::Error);
+}
+
+TEST(GemmTest, GenericSimdLevelIsAlwaysAvailable) {
+  EXPECT_TRUE(simd_level_available(SimdLevel::kGeneric));
 }
 
 TEST(GemmTest, NaiveToleranceSanity) {

@@ -1,0 +1,28 @@
+// Clean twin of dispatch_static_bad.cpp: the one-time dispatch-level
+// selection cell is on the audited allowlist under exactly this file and
+// identifier (src/nn/dispatch.cpp:g_active). Linted as-if at
+// src/nn/dispatch.cpp.
+
+namespace std {
+template <typename T>
+struct atomic {
+  T load(int) const;
+  void store(T, int);
+};
+}  // namespace std
+
+namespace spectra::nn {
+
+int select_level();
+
+int active_level() {
+  static std::atomic<int> g_active{-1};  // allowlisted dispatch selection
+  int level = g_active.load(0);
+  if (level < 0) {
+    level = select_level();
+    g_active.store(level, 0);
+  }
+  return level;
+}
+
+}  // namespace spectra::nn

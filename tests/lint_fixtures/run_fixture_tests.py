@@ -31,6 +31,11 @@ CASES = [
     ("static_bad.cpp", "src/geo/fixture.cpp", [], 1,
      ["[mutable-static]", "g_call_count", "tls_hits"]),
     ("static_ok.cpp", "src/geo/fixture.cpp", [], 0, []),
+    # Dispatch-selection allowlist: only the audited identifier passes in
+    # the dispatch TU; anything else still fires.
+    ("dispatch_static_bad.cpp", "src/nn/dispatch.cpp", [], 1,
+     ["[mutable-static]", "g_rogue"]),
+    ("dispatch_static_ok.cpp", "src/nn/dispatch.cpp", [], 0, []),
     ("floatmix_bad.cpp", "src/nn/gemm.cpp", [], 1, ["[float-mix]"]),
     ("floatmix_ok.cpp", "src/nn/gemm.cpp", [], 0, []),
     ("registry_bad.cpp", "src/obs/fixture.cpp",

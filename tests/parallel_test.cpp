@@ -15,8 +15,10 @@
 #include "core/fourier_bridge.h"
 #include "core/losses.h"
 #include "core/trainer.h"
+#include "dsp/fft.h"
 #include "geo/patching.h"
 #include "nn/conv.h"
+#include "nn/dispatch.h"
 #include "nn/init.h"
 #include "nn/lstm.h"
 #include "nn/ops.h"
@@ -154,6 +156,69 @@ TEST(ParallelDeterminismTest, BatchedLstmBitwiseIdenticalAcrossThreadCounts) {
   ASSERT_EQ(serial.param_grads.size(), parallel.param_grads.size());
   for (std::size_t i = 0; i < serial.param_grads.size(); ++i) {
     expect_bitwise_equal(serial.param_grads[i], parallel.param_grads[i], "lstm param grad");
+  }
+}
+
+// Scoped override of the GEMM SIMD dispatch level.
+struct SimdOverride {
+  explicit SimdOverride(nn::SimdLevel level) : prev(nn::active_simd_level()) {
+    nn::set_simd_level(level);
+  }
+  ~SimdOverride() { nn::set_simd_level(prev); }
+  nn::SimdLevel prev;
+};
+
+// The 1-vs-8-thread contract must hold at every dispatch level this
+// build and CPU support, not just the default: lane width changes which
+// C columns share a register, never the per-element reduction order.
+TEST(ParallelDeterminismTest, LinearBitwiseIdenticalAcrossThreadCountsAtEverySimdLevel) {
+  for (const nn::SimdLevel level : {nn::SimdLevel::kGeneric, nn::SimdLevel::kAvx2,
+                                    nn::SimdLevel::kAvx512, nn::SimdLevel::kNeon}) {
+    if (!nn::simd_level_available(level)) continue;
+    SimdOverride guard(level);
+    const LinearRun serial = run_linear(1);
+    const LinearRun parallel = run_linear(8);
+    const char* name = nn::simd_level_name(level);
+    expect_bitwise_equal(serial.y, parallel.y, name);
+    expect_bitwise_equal(serial.gx, parallel.gx, name);
+    expect_bitwise_equal(serial.gw, parallel.gw, name);
+    expect_bitwise_equal(serial.gb, parallel.gb, name);
+  }
+}
+
+// Concurrent rfft/irfft calls from pool workers: the per-thread Bluestein
+// scratch and the shared rfft/Bluestein plan caches must not let results
+// depend on which worker ran which row. Mixes fast-path (64) and
+// fallback (168) lengths in one batch.
+std::vector<std::vector<double>> run_rfft_batch(std::size_t threads) {
+  ThreadsOverride guard(threads);
+  std::vector<std::vector<double>> rows;
+  for (long r = 0; r < 24; ++r) {
+    const long n = (r % 2 == 0) ? 64 : 168;
+    Rng rng(static_cast<std::uint64_t>(1000 + r));
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (double& v : x) v = rng.uniform(-1, 1);
+    rows.push_back(std::move(x));
+  }
+  std::vector<std::vector<double>> out(rows.size());
+  parallel_for(rows.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      out[r] = dsp::irfft(dsp::rfft(rows[r]), static_cast<long>(rows[r].size()));
+    }
+  });
+  return out;
+}
+
+TEST(ParallelDeterminismTest, RfftRoundTripBitwiseIdenticalAcrossThreadCounts) {
+  const std::vector<std::vector<double>> serial = run_rfft_batch(1);
+  const std::vector<std::vector<double>> parallel = run_rfft_batch(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    ASSERT_EQ(serial[r].size(), parallel[r].size());
+    for (std::size_t i = 0; i < serial[r].size(); ++i) {
+      ASSERT_EQ(serial[r][i], parallel[r][i])
+          << "rfft round trip diverges at row " << r << " index " << i;
+    }
   }
 }
 
