@@ -25,6 +25,19 @@ Enforces invariants that no off-the-shelf tool knows about (DESIGN §6d):
                 the observability boundary).  Implicit float<->double
                 mixing changes results between vectorized and scalar
                 paths, which breaks bitwise determinism.
+  lock-annotation  Every concurrency primitive in src/ is visible to the
+                clang thread safety analysis: raw std::mutex /
+                std::shared_mutex / std::condition_variable may only
+                appear inside the annotated wrappers (util/mutex.h, via
+                the identifier-exact allowlist below), and every
+                spectra::Mutex / SharedMutex declaration must place
+                itself in the lock hierarchy with SG_ACQUIRED_AFTER /
+                SG_ACQUIRED_BEFORE (or be allowlisted, e.g. the
+                hierarchy's own root token).
+  include-layering  Cross-module #include edges in src/ must point
+                strictly down the module DAG (INCLUDE_LAYERS below).  A
+                back-edge means a layering inversion that the linker
+                ordering and the capability hierarchy both assume away.
 
 A finding can be waived inline with a justified annotation on the same
 line (or the line above):
@@ -53,7 +66,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
-RULES = ("thread", "determinism", "registry", "mutable-static", "float-mix")
+RULES = ("thread", "determinism", "registry", "mutable-static", "float-mix",
+         "lock-annotation", "include-layering")
 
 # ---------------------------------------------------------------------------
 # Scope of each rule (repo-relative, forward slashes).
@@ -78,9 +92,8 @@ KERNEL_FILES = ("src/nn/gemm.cpp", "src/nn/conv.cpp", "src/nn/gemm_micro.h",
 # Every entry must say why it is safe.  Registry instrument lookups
 # (`static obs::Counter& ...`) are allowed by pattern, not listed here.
 MUTABLE_STATIC_ALLOWLIST = {
-    # Logger: process-wide sink guarded by the mutex on the same line pair;
-    # level is written once on first use.
-    "src/util/log.cpp:mutex",
+    # Logger: level cache is a relaxed atomic seeded from the environment
+    # on first use (the sink mutex is a namespace-scope annotated Mutex).
     "src/util/log.cpp:level",
     # Pool worker flag: per-thread marker that enables nested-inline
     # execution; written only by the owning thread.
@@ -100,14 +113,11 @@ MUTABLE_STATIC_ALLOWLIST = {
     # (worker threads may outlive main during exit).
     "src/obs/trace.cpp:s",
     "src/obs/trace.cpp:buffer",
-    # Bluestein plan cache: shared behind std::shared_mutex; plans are
-    # immutable after construction (DESIGN §6a).
-    "src/dsp/fft.cpp:mutex",
-    "src/dsp/fft.cpp:plans",
-    # rfft twiddle-plan cache: same shared_mutex + immutable-plan shape
-    # as the Bluestein cache above.
-    "src/dsp/fft.cpp:rfft_mutex",
-    "src/dsp/fft.cpp:rfft_plans",
+    # Bluestein plan cache: annotated SharedMutex + GUARDED_BY buckets
+    # (BluesteinCache); plans are immutable after construction (§6a/§6d).
+    "src/dsp/fft.cpp:bluestein_cache",
+    # rfft twiddle-plan cache: same SharedMutex + immutable-plan shape.
+    "src/dsp/fft.cpp:rfft_cache",
     # Bluestein per-thread transform scratch: grow-only buffer reused
     # across transforms; per-thread (not plan-owned) because plans are
     # shared read-only across threads. Holds no cross-call state — it is
@@ -120,6 +130,57 @@ MUTABLE_STATIC_ALLOWLIST = {
     # numerical state.
     "src/nn/dispatch.cpp:g_active",
 }
+
+# Sanctioned concurrency-primitive declarations:
+# "<repo-relative-file>:<identifier>".  Two kinds of entry:
+#   - raw std primitives: util/mutex.h wrapper internals are the ONLY
+#     sanctioned home — everywhere else must use the annotated wrappers
+#     so the clang thread safety analysis sees every acquire/release;
+#   - wrapper declarations exempt from the SG_ACQUIRED_AFTER/BEFORE
+#     hierarchy requirement (the hierarchy's own sentinel tokens).
+LOCK_PRIMITIVE_ALLOWLIST = {
+    # Wrapper internals (util/mutex.h): the audited raw primitives that
+    # everything else delegates to.
+    "src/util/mutex.h:raw_mutex_",
+    "src/util/mutex.h:raw_shared_mutex_",
+    "src/util/mutex.h:raw_cv_",
+    # Hierarchy root token: the outermost layer has nothing to be
+    # acquired after, so its declaration carries no SG_ACQUIRED_*.
+    "src/util/mutex.h:serve",
+    # Sentinel token definitions: the hierarchy attributes live on the
+    # extern declarations in mutex.h; the definitions are plain.
+    "src/util/mutex.cpp:serve",
+    "src/util/mutex.cpp:pool",
+    "src/util/mutex.cpp:obs",
+    "src/util/mutex.cpp:fft_cache",
+    "src/util/mutex.cpp:log",
+}
+
+# Module DAG for the include-layering rule: src/<module>/... may include
+# another module only if its own rank is STRICTLY greater (includes point
+# down the stack; same-module includes are always fine). `pool` is a
+# pseudo-module for src/util/thread_pool.* (see FILE_MODULE_OVERRIDES):
+# the pool instruments itself through obs, while the rest of util sits
+# below obs — splitting it keeps both facts in the DAG instead of
+# collapsing them into a util<->obs cycle. Mirrors the link order in
+# src/CMakeLists.txt and the capability layers in DESIGN §6d.
+INCLUDE_LAYERS = {
+    "util": 0,
+    "obs": 1,
+    "pool": 2,
+    "nn": 3, "dsp": 3, "geo": 3,
+    "train": 4, "data": 4, "metrics": 4,
+    "core": 5,
+    "apps": 6, "baselines": 6,
+    "eval": 7, "serve": 7,
+}
+FILE_MODULE_OVERRIDES = {
+    "src/util/thread_pool.h": "pool",
+    "src/util/thread_pool.cpp": "pool",
+}
+
+# Counters surfaced by --stats (CI thread-safety job summary).
+LOCK_STATS = {"annotated": 0, "allowlisted": 0}
 
 # ---------------------------------------------------------------------------
 
@@ -232,6 +293,27 @@ STATIC_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=|;|\{)")
 DOUBLE_RE = re.compile(r"\bdouble\b")
 DOUBLE_CAST_RE = re.compile(r"static_cast<\s*(?:long\s+)?double\s*>")
 
+RAW_LOCK_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable"
+    r"|condition_variable_any)\s+([A-Za-z_]\w*)")
+WRAPPED_LOCK_RE = re.compile(r"\b(?:spectra::)?(Mutex|SharedMutex)\s+([A-Za-z_]\w*)")
+LOCK_HIER_RE = re.compile(r"\bSG_ACQUIRED_(?:AFTER|BEFORE)\b")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def gather_decl(code_lines: list[str], lineno: int, limit: int = 5) -> str:
+    """Join the declaration starting at 1-based `lineno` through its
+    terminating ';' (bounded lookahead) so hierarchy annotations on
+    continuation lines are seen."""
+    parts = []
+    for j in range(lineno - 1, min(lineno - 1 + limit, len(code_lines))):
+        parts.append(code_lines[j])
+        if ";" in code_lines[j]:
+            break
+    return " ".join(parts)
+
 
 def lint_file(disk_path: Path, rel: str, findings: list[Finding]):
     try:
@@ -295,6 +377,69 @@ def lint_file(disk_path: Path, rel: str, findings: list[Finding]):
                        "bare 'double' in a kernel file — kernels accumulate "
                        "in float; cross the precision boundary only via an "
                        "explicit static_cast<double>")
+
+    if rel_posix.startswith("src/"):
+        for i, line in enumerate(code_lines, start=1):
+            m = RAW_LOCK_RE.search(line)
+            if m:
+                name = m.group(2)
+                if f"{rel_posix}:{name}" in LOCK_PRIMITIVE_ALLOWLIST:
+                    LOCK_STATS["allowlisted"] += 1
+                else:
+                    report(i, "lock-annotation",
+                           f"raw std::{m.group(1)} '{name}' — use the "
+                           "annotated spectra::Mutex/SharedMutex/CondVar "
+                           "(util/mutex.h) so the clang thread safety "
+                           "analysis sees every acquire, or add an "
+                           "identifier-exact allowlist entry in "
+                           "scripts/lint/sg_lint.py")
+                continue
+            m = WRAPPED_LOCK_RE.search(line)
+            if m:
+                name = m.group(2)
+                if f"{rel_posix}:{name}" in LOCK_PRIMITIVE_ALLOWLIST:
+                    LOCK_STATS["allowlisted"] += 1
+                elif LOCK_HIER_RE.search(gather_decl(code_lines, i)):
+                    LOCK_STATS["annotated"] += 1
+                else:
+                    report(i, "lock-annotation",
+                           f"{m.group(1)} '{name}' declares no lock-hierarchy "
+                           "position — add SG_ACQUIRED_AFTER(<own layer>) and "
+                           "SG_ACQUIRED_BEFORE(<next layer>) using the "
+                           "lock_order tokens (util/mutex.h; layer table in "
+                           "DESIGN §6d), or allowlist it in "
+                           "scripts/lint/sg_lint.py")
+
+    if rel_posix.startswith("src/"):
+        file_mod = FILE_MODULE_OVERRIDES.get(rel_posix)
+        if file_mod is None:
+            parts = rel_posix.split("/")
+            file_mod = parts[1] if len(parts) >= 3 else None
+        file_rank = INCLUDE_LAYERS.get(file_mod)
+        if file_rank is not None:
+            # scan RAW lines: include paths live inside string literals,
+            # which strip_strings_and_comments blanks out
+            for i, line in enumerate(raw_lines, start=1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                inc = m.group(1)
+                inc_mod = FILE_MODULE_OVERRIDES.get("src/" + inc)
+                if inc_mod is None:
+                    inc_mod = inc.split("/")[0]
+                if inc_mod == file_mod:
+                    continue
+                inc_rank = INCLUDE_LAYERS.get(inc_mod)
+                if inc_rank is None:
+                    continue  # generated headers, non-module paths
+                if file_rank > inc_rank:
+                    continue
+                report(i, "include-layering",
+                       f"module '{file_mod}' (rank {file_rank}) includes "
+                       f"'{inc}' from module '{inc_mod}' (rank {inc_rank}) — "
+                       "cross-module includes must point strictly down the "
+                       "module DAG (INCLUDE_LAYERS, DESIGN §6d); a back-edge "
+                       "re-introduces a dependency cycle")
 
 
 # ---------------------------------------------------------------------------
@@ -413,6 +558,8 @@ def main() -> int:
                     help="repository root (default: auto)")
     ap.add_argument("--no-registry", action="store_true",
                     help="skip the whole-repo registry rule")
+    ap.add_argument("--stats", action="store_true",
+                    help="print lock-annotation coverage counts after linting")
     ap.add_argument("--list-rules", action="store_true")
     args = ap.parse_args()
 
@@ -445,6 +592,10 @@ def main() -> int:
 
     for f in findings:
         print(f)
+    if args.stats:
+        print(f"lock-annotation: {LOCK_STATS['annotated']} hierarchy-annotated "
+              f"primitive(s), {LOCK_STATS['allowlisted']} allowlisted "
+              f"declaration(s)")
     if findings:
         print(f"sg_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -2,13 +2,13 @@
 
 #include <cmath>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::dsp {
 
@@ -76,24 +76,31 @@ std::unique_ptr<BluesteinPlan> build_bluestein_plan(long n, int sign) {
   return plan;
 }
 
+// Process-wide keyed cache shared by all pool workers; transforms of a
+// handful of distinct lengths dominate, so each plan is built once per
+// (length, sign) instead of once per thread. unique_ptr storage keeps
+// returned references stable while the vector grows.
+struct BluesteinCache {
+  SharedMutex mutex SG_ACQUIRED_AFTER(lock_order::fft_cache)
+      SG_ACQUIRED_BEFORE(lock_order::log);
+  // [0]: sign < 0, [1]: sign >= 0. Plans are immutable once inserted.
+  std::vector<std::unique_ptr<BluesteinPlan>> buckets[2] SG_GUARDED_BY(mutex);
+};
+
 const BluesteinPlan& bluestein_plan(long n, int sign) {
-  // Process-wide keyed cache shared by all pool workers; transforms of a
-  // handful of distinct lengths dominate, so each plan is built once per
-  // (length, sign) instead of once per thread. unique_ptr storage keeps
-  // returned references stable while the vector grows.
-  static std::shared_mutex mutex;
-  static std::vector<std::unique_ptr<BluesteinPlan>> plans[2];
-  auto& bucket = plans[sign < 0 ? 0 : 1];
+  static BluesteinCache bluestein_cache;
+  const int bucket_index = sign < 0 ? 0 : 1;
   {
-    std::shared_lock lock(mutex);
-    for (const auto& plan : bucket) {
+    SharedReaderLock lock(bluestein_cache.mutex);
+    for (const auto& plan : bluestein_cache.buckets[bucket_index]) {
       if (plan->n == n) return *plan;
     }
   }
   // Build outside the lock (two racing threads may both build; one copy
   // wins below and the other is discarded).
   auto plan = build_bluestein_plan(n, sign);
-  std::unique_lock lock(mutex);
+  SharedMutexLock lock(bluestein_cache.mutex);
+  auto& bucket = bluestein_cache.buckets[bucket_index];
   for (const auto& existing : bucket) {
     if (existing->n == n) return *existing;
   }
@@ -154,24 +161,29 @@ std::unique_ptr<RfftPlan> build_rfft_plan(long n) {
   return plan;
 }
 
+// Same shape as the Bluestein cache: SharedMutex-guarded, unique_ptr
+// storage for reference stability, double-checked insert.
+struct RfftCache {
+  SharedMutex mutex SG_ACQUIRED_AFTER(lock_order::fft_cache)
+      SG_ACQUIRED_BEFORE(lock_order::log);
+  std::vector<std::unique_ptr<RfftPlan>> plans SG_GUARDED_BY(mutex);
+};
+
 const RfftPlan& rfft_plan(long n) {
-  // Same shape as the Bluestein cache: shared_mutex-guarded, unique_ptr
-  // storage for reference stability, double-checked insert.
-  static std::shared_mutex rfft_mutex;
-  static std::vector<std::unique_ptr<RfftPlan>> rfft_plans;
+  static RfftCache rfft_cache;
   {
-    std::shared_lock lock(rfft_mutex);
-    for (const auto& plan : rfft_plans) {
+    SharedReaderLock lock(rfft_cache.mutex);
+    for (const auto& plan : rfft_cache.plans) {
       if (plan->n == n) return *plan;
     }
   }
   auto plan = build_rfft_plan(n);
-  std::unique_lock lock(rfft_mutex);
-  for (const auto& existing : rfft_plans) {
+  SharedMutexLock lock(rfft_cache.mutex);
+  for (const auto& existing : rfft_cache.plans) {
     if (existing->n == n) return *existing;
   }
-  rfft_plans.push_back(std::move(plan));
-  return *rfft_plans.back();
+  rfft_cache.plans.push_back(std::move(plan));
+  return *rfft_cache.plans.back();
 }
 
 obs::Counter& rfft_fast_counter() {

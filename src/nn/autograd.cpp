@@ -18,6 +18,8 @@ struct Node {
 }  // namespace detail
 
 namespace {
+// Per-thread autograd switch: thread_local by design, so InferenceGuard
+// never synchronizes and nn stays lock-free (DESIGN §6d).
 thread_local bool g_inference_mode = false;
 }  // namespace
 

@@ -21,6 +21,8 @@ obs::Gauge& simd_gauge() {
 // SimdLevel value. Concurrent first calls race benignly: both sides
 // compute the same environment-determined level and store the same
 // value, and set_simd_level (tests only) is called from a single thread.
+// An atomic, not a mutex, so dispatch stays outside the lock hierarchy
+// (DESIGN §6d) and can be consulted from under any layer's lock.
 std::atomic<int>& active_state() {
   static std::atomic<int> g_active{-1};
   return g_active;

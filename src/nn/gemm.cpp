@@ -32,7 +32,9 @@ obs::Gauge& bytes_gauge() {
 // The active workspace of this thread: null means the implicit
 // thread-local default below. WorkspaceScope swaps request-owned
 // workspaces in and out (serve daemon); kernels never see the
-// difference.
+// difference. Deliberately thread_local rather than a guarded shared
+// structure — per-thread ownership is what keeps the GEMM hot path off
+// the capability layer entirely (DESIGN §6d: nn holds no locks).
 thread_local Workspace* tls_workspace = nullptr;
 
 Workspace& thread_default_workspace() {

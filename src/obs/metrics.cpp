@@ -189,7 +189,7 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& entry : counters_) {
     if (entry.first == name) return *entry.second;
   }
@@ -198,7 +198,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& entry : gauges_) {
     if (entry.first == name) return *entry.second;
   }
@@ -207,7 +207,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 MaxGauge& Registry::max_gauge(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& entry : max_gauges_) {
     if (entry.first == name) return *entry.second;
   }
@@ -216,7 +216,7 @@ MaxGauge& Registry::max_gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& entry : histograms_) {
     if (entry.first == name) return *entry.second;
   }
@@ -226,7 +226,7 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> uppe
 }
 
 std::string Registry::text_snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   out << "# metrics snapshot\n";
   for (const auto& [name, counter] : counters_) {
@@ -265,7 +265,7 @@ std::string Registry::text_snapshot() const {
 }
 
 std::string Registry::json_snapshot() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\"counters\":{";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
@@ -312,7 +312,7 @@ std::string Registry::json_snapshot() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& entry : counters_) entry.second->reset();
   for (auto& entry : gauges_) entry.second->reset();
   for (auto& entry : max_gauges_) entry.second->reset();

@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::obs {
 
@@ -121,12 +123,19 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  // Ordered by registration; unique_ptr keeps addresses stable.
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<MaxGauge>>> max_gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  mutable Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  // Ordered by registration; unique_ptr keeps addresses stable (the
+  // instruments themselves are relaxed atomics, so only the name lists
+  // are guarded — updates through returned references are lock-free).
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      SG_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      SG_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<MaxGauge>>> max_gauges_
+      SG_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      SG_GUARDED_BY(mutex_);
 };
 
 // Snapshots of the process registry.

@@ -1,14 +1,18 @@
 #include "obs/profile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::obs {
 
@@ -37,15 +41,28 @@ using detail::ProfileNode;
 // exists so report/reset can read from other threads. Uncontended in the
 // hot path (same discipline as the trace buffers).
 struct ThreadTree {
-  std::mutex mutex;
-  ProfileNode root;
-  ProfileNode* current = &root;
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  ProfileNode root SG_GUARDED_BY(mutex);
+  ProfileNode* current SG_GUARDED_BY(mutex) = &root;
 };
 
+// Steady-clock now as nanoseconds since the clock's epoch.
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 struct ProfileState {
-  std::mutex mutex;                  // guards `trees`
-  std::vector<ThreadTree*> trees;    // leaked; one per thread ever seen
-  std::chrono::steady_clock::time_point origin = std::chrono::steady_clock::now();
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::vector<ThreadTree*> trees SG_GUARDED_BY(mutex);  // leaked; one per thread ever seen
+  // Time origin in steady-clock nanoseconds. Atomic, not guarded:
+  // profile_reset rewrites it while every scope exit on every thread
+  // reads it through profile_now_ns, and the hot path must stay
+  // lock-free.
+  std::atomic<std::int64_t> origin_ns{steady_now_ns()};
 };
 
 ProfileState& state() {
@@ -59,7 +76,7 @@ ThreadTree& thread_tree() {
   thread_local ThreadTree* tree = [] {
     auto* t = new ThreadTree();
     ProfileState& s = state();
-    std::lock_guard lock(s.mutex);
+    MutexLock lock(s.mutex);
     s.trees.push_back(t);
     return t;
   }();
@@ -119,9 +136,9 @@ void merge_into(MergedNode& dst, const ProfileNode& src) {
 MergedNode merged_snapshot() {
   MergedNode root;
   ProfileState& s = state();
-  std::lock_guard registry_lock(s.mutex);
+  MutexLock registry_lock(s.mutex);
   for (ThreadTree* tree : s.trees) {
-    std::lock_guard lock(tree->mutex);
+    MutexLock lock(tree->mutex);
     merge_into(root, tree->root);
   }
   return root;
@@ -179,9 +196,9 @@ void format_json(const MergedNode& node, std::ostringstream& out) {
 }
 
 double wall_seconds() {
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - state().origin;
-  return elapsed.count();
+  const std::int64_t elapsed_ns =
+      steady_now_ns() - state().origin_ns.load(std::memory_order_relaxed);
+  return static_cast<double>(elapsed_ns) * 1e-9;
 }
 
 }  // namespace
@@ -191,14 +208,13 @@ namespace detail {
 std::atomic<bool> g_profile_enabled{false};
 
 std::uint64_t profile_now_ns() {
-  const auto elapsed = std::chrono::steady_clock::now() - state().origin;
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+      steady_now_ns() - state().origin_ns.load(std::memory_order_relaxed));
 }
 
 ProfileNode* profile_enter(const char* name) {
   ThreadTree& tree = thread_tree();
-  std::lock_guard lock(tree.mutex);
+  MutexLock lock(tree.mutex);
   ProfileNode* parent = tree.current;
   for (ProfileNode* child : parent->children) {
     // String literals make pointer identity the common case; the strcmp
@@ -218,7 +234,7 @@ ProfileNode* profile_enter(const char* name) {
 
 void profile_exit(ProfileNode* node, std::uint64_t start_ns) {
   ThreadTree& tree = thread_tree();
-  std::lock_guard lock(tree.mutex);
+  MutexLock lock(tree.mutex);
   node->calls += 1;
   node->incl_ns += profile_now_ns() - start_ns;
   // Pop to the scope's own parent (not current->parent) so an exit after
@@ -251,7 +267,7 @@ void profile_set_enabled(bool enabled) {
 void profile_add_work(double flops, double bytes) {
   if (!profile_enabled()) return;
   ThreadTree& tree = thread_tree();
-  std::lock_guard lock(tree.mutex);
+  MutexLock lock(tree.mutex);
   if (tree.current == &tree.root) return;  // no open scope on this thread
   tree.current->flops += flops;
   tree.current->bytes += bytes;
@@ -296,15 +312,17 @@ void profile_dump(const std::string& path) {
 
 void profile_reset() {
   ProfileState& s = state();
-  std::lock_guard registry_lock(s.mutex);
-  for (ThreadTree* tree : s.trees) {
-    std::lock_guard lock(tree->mutex);
-    // Children stay allocated (scopes may hold pointers); zero the stats
-    // and detach them from the tree.
-    tree->root.children.clear();
-    tree->current = &tree->root;
+  {
+    MutexLock registry_lock(s.mutex);
+    for (ThreadTree* tree : s.trees) {
+      MutexLock lock(tree->mutex);
+      // Children stay allocated (scopes may hold pointers); zero the stats
+      // and detach them from the tree.
+      tree->root.children.clear();
+      tree->current = &tree->root;
+    }
   }
-  s.origin = std::chrono::steady_clock::now();
+  s.origin_ns.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 }  // namespace spectra::obs

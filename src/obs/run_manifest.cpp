@@ -6,12 +6,13 @@
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #if __has_include("obs/build_info.h")
 #include "obs/build_info.h"
@@ -62,8 +63,9 @@ std::chrono::steady_clock::time_point origin() {
 }
 
 struct ExtraState {
-  std::mutex mutex;
-  std::map<std::string, std::string> values;  // key -> raw JSON value
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::map<std::string, std::string> values SG_GUARDED_BY(mutex);  // key -> raw JSON value
 };
 
 ExtraState& extras() {
@@ -75,8 +77,9 @@ ExtraState& extras() {
 // Default run name set by bench_report() et al., consulted when a writer
 // (notably the SPECTRA_RUNMETA atexit rewrite) passes no explicit name.
 struct NameState {
-  std::mutex mutex;
-  std::string name;
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::string name SG_GUARDED_BY(mutex);
 };
 
 NameState& default_name() {
@@ -104,7 +107,7 @@ std::map<std::string, std::string> spectra_env() {
 
 void run_manifest_set(const std::string& key, const std::string& json_value) {
   ExtraState& s = extras();
-  std::lock_guard lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.values[key] = json_value;
 }
 
@@ -114,7 +117,7 @@ void run_manifest_set_string(const std::string& key, const std::string& value) {
 
 void run_manifest_set_name(const std::string& run_name) {
   NameState& s = default_name();
-  std::lock_guard lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.name = run_name;
 }
 
@@ -126,7 +129,7 @@ std::string run_manifest_json(const std::string& run_name) {
       name = env;
     } else {
       NameState& s = default_name();
-      std::lock_guard lock(s.mutex);
+      MutexLock lock(s.mutex);
       name = s.name.empty() ? "run" : s.name;
     }
   }
@@ -147,7 +150,7 @@ std::string run_manifest_json(const std::string& run_name) {
   out << "},\"extra\":{";
   {
     ExtraState& s = extras();
-    std::lock_guard lock(s.mutex);
+    MutexLock lock(s.mutex);
     first = true;
     for (const auto& [key, value] : s.values) {
       if (!first) out << ',';

@@ -125,7 +125,7 @@ ResourceSampler& ResourceSampler::instance() {
 }
 
 void ResourceSampler::start(long interval_ms) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (running_) return;
   if (interval_ms < 1) interval_ms = 1;
   stop_flag_ = false;
@@ -136,7 +136,7 @@ void ResourceSampler::start(long interval_ms) {
 void ResourceSampler::stop() {
   std::thread to_join;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     stop_flag_ = true;
     to_join = std::move(thread_);
@@ -147,18 +147,23 @@ void ResourceSampler::stop() {
 }
 
 bool ResourceSampler::running() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return running_;
 }
 
 void ResourceSampler::loop(long interval_ms) {
   for (;;) {
     sample_once(/*jsonl=*/true);
-    std::unique_lock lock(mutex_);
-    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                     [this] { return stop_flag_; })) {
-      return;
+    const std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms);
+    // Explicit deadline loop instead of a predicate wait: the thread
+    // safety analysis does not look inside lambdas, so this keeps the
+    // stop_flag_ read checked against mutex_.
+    MutexLock lock(mutex_);
+    while (!stop_flag_) {
+      if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
     }
+    if (stop_flag_) return;
   }
 }
 

@@ -23,9 +23,10 @@
 
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::obs {
 
@@ -75,11 +76,12 @@ class ResourceSampler {
 
   void loop(long interval_ms);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;  // signalled by stop() to cut a sleep short
-  std::thread thread_;
-  bool running_ = false;    // guarded by mutex_
-  bool stop_flag_ = false;  // guarded by mutex_
+  mutable Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  CondVar cv_;  // signalled by stop() to cut a sleep short
+  std::thread thread_ SG_GUARDED_BY(mutex_);
+  bool running_ SG_GUARDED_BY(mutex_) = false;
+  bool stop_flag_ SG_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace spectra::obs

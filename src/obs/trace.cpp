@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::obs {
 
@@ -24,25 +26,29 @@ struct TraceEvent {
 // buffer mutex exists so trace_json()/trace_reset()/stream drains can
 // read from other threads. Uncontended in the hot path.
 struct ThreadBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::uint32_t tid = 0;
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::vector<TraceEvent> events SG_GUARDED_BY(mutex);
+  std::uint32_t tid = 0;  // assigned once at registration, const afterwards
 };
 
 // Streaming sink state. `mutex` serializes drains; the hot path only
 // touches `pending` (relaxed atomic) and takes the mutex via try_lock,
 // so a drain in progress never blocks recording threads.
 struct StreamState {
-  std::mutex mutex;
-  std::ofstream out;
-  std::string path;
-  bool any_event = false;  // whether a comma is needed before the next event
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::ofstream out SG_GUARDED_BY(mutex);
+  std::string path SG_GUARDED_BY(mutex);
+  bool any_event SG_GUARDED_BY(mutex) = false;  // comma needed before the next event
 };
 
 struct TraceState {
-  std::mutex mutex;                     // guards `buffers`
-  std::vector<ThreadBuffer*> buffers;   // leaked; one per thread ever seen
-  std::uint32_t next_tid = 1;
+  Mutex mutex SG_ACQUIRED_AFTER(lock_order::obs)
+      SG_ACQUIRED_BEFORE(lock_order::fft_cache);
+  std::vector<ThreadBuffer*> buffers SG_GUARDED_BY(mutex);  // leaked; one per thread
+  std::uint32_t next_tid SG_GUARDED_BY(mutex) = 1;
+  // Set at construction, never reset — reads need no lock.
   std::chrono::steady_clock::time_point origin = std::chrono::steady_clock::now();
   std::atomic<bool> streaming{false};   // fast check before the pending math
   std::atomic<std::uint64_t> pending{0};  // events buffered since last drain
@@ -60,7 +66,7 @@ ThreadBuffer& thread_buffer() {
   thread_local ThreadBuffer* buffer = [] {
     auto* b = new ThreadBuffer();  // leaked: events must survive thread exit
     TraceState& s = state();
-    std::lock_guard lock(s.mutex);
+    MutexLock lock(s.mutex);
     b->tid = s.next_tid++;
     s.buffers.push_back(b);
     return b;
@@ -93,19 +99,19 @@ void format_event(std::ostream& out, const TraceEvent& event, std::uint32_t tid)
 
 // Move every buffered span into the open stream. Caller holds
 // `stream.mutex`; buffers are cleared as they drain, bounding memory.
-void drain_locked(TraceState& s) {
+void drain_locked(TraceState& s) SG_REQUIRES(s.stream.mutex) {
   if (!s.stream.out.is_open()) return;
   std::vector<TraceEvent> batch;
   std::vector<ThreadBuffer*> buffers;
   {
-    std::lock_guard registry_lock(s.mutex);
+    MutexLock registry_lock(s.mutex);
     buffers = s.buffers;
   }
   for (ThreadBuffer* buffer : buffers) {
     batch.clear();
     std::uint32_t tid = 0;
     {
-      std::lock_guard lock(buffer->mutex);
+      MutexLock lock(buffer->mutex);
       batch.swap(buffer->events);
       tid = buffer->tid;
     }
@@ -135,7 +141,7 @@ std::uint64_t trace_now_us() {
 void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us) {
   ThreadBuffer& buffer = thread_buffer();
   {
-    std::lock_guard lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     buffer.events.push_back({name, start_us, dur_us});
   }
   TraceState& s = state();
@@ -145,7 +151,7 @@ void trace_record(const char* name, std::uint64_t start_us, std::uint64_t dur_us
   // Opportunistic drain: whichever thread crosses the threshold while
   // the stream is free does the work; others keep recording.
   if (s.stream.mutex.try_lock()) {
-    std::lock_guard lock(s.stream.mutex, std::adopt_lock);
+    MutexLock lock(s.stream.mutex, std::adopt_lock);
     drain_locked(s);
   }
 }
@@ -173,9 +179,9 @@ std::string trace_json() {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  std::lock_guard registry_lock(s.mutex);
+  MutexLock registry_lock(s.mutex);
   for (ThreadBuffer* buffer : s.buffers) {
-    std::lock_guard lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     for (const TraceEvent& event : buffer->events) {
       if (!first) out << ',';
       first = false;
@@ -197,7 +203,7 @@ void trace_flush(const std::string& path) {
   // corrupt it — route through a drain instead.
   {
     TraceState& s = state();
-    std::lock_guard lock(s.stream.mutex);
+    MutexLock lock(s.stream.mutex);
     if (s.stream.out.is_open() && s.stream.path == target) {
       drain_locked(s);
       return;
@@ -210,9 +216,9 @@ void trace_flush(const std::string& path) {
 
 void trace_reset() {
   TraceState& s = state();
-  std::lock_guard registry_lock(s.mutex);
+  MutexLock registry_lock(s.mutex);
   for (ThreadBuffer* buffer : s.buffers) {
-    std::lock_guard lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     buffer->events.clear();
   }
   s.pending.store(0, std::memory_order_relaxed);
@@ -261,7 +267,7 @@ void trace_stream_open(const std::string& path) {
   // may fault in Registry::instance(), whose env hooks re-enter here —
   // bailing on the atomic avoids self-deadlock on the mutex.
   if (s.streaming.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(s.stream.mutex);
+  MutexLock lock(s.stream.mutex);
   if (s.stream.out.is_open()) return;
   trace_recover_partial(path);
   s.stream.out.open(path);
@@ -275,13 +281,13 @@ void trace_stream_open(const std::string& path) {
 
 void trace_stream_drain() {
   TraceState& s = state();
-  std::lock_guard lock(s.stream.mutex);
+  MutexLock lock(s.stream.mutex);
   drain_locked(s);
 }
 
 void trace_stream_close() {
   TraceState& s = state();
-  std::lock_guard lock(s.stream.mutex);
+  MutexLock lock(s.stream.mutex);
   if (!s.stream.out.is_open()) return;
   s.streaming.store(false, std::memory_order_relaxed);
   drain_locked(s);

@@ -234,7 +234,7 @@ void FrameWriter::write_row(std::uint64_t id, long row, const std::vector<double
   w.u32(static_cast<std::uint32_t>(values.size()));
   w.f64s(values.data(), values.size());
   const std::vector<std::uint8_t> payload = w.take();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   write_frame(out_, payload);
 }
 
@@ -248,7 +248,7 @@ void FrameWriter::write_done(std::uint64_t id, RequestState state, long rows,
   w.u32(static_cast<std::uint32_t>(message.size()));
   w.bytes(message);
   const std::vector<std::uint8_t> payload = w.take();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   write_frame(out_, payload);
 }
 
@@ -258,7 +258,7 @@ void FrameWriter::write_error(const std::string& message) {
   w.u32(static_cast<std::uint32_t>(message.size()));
   w.bytes(message);
   const std::vector<std::uint8_t> payload = w.take();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   write_frame(out_, payload);
 }
 

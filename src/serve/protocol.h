@@ -32,11 +32,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/server.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::serve {
 
@@ -118,8 +119,8 @@ class FrameWriter {
   void write_error(const std::string& message);
 
  private:
-  std::mutex mutex_;
-  std::FILE* out_;
+  Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::serve) SG_ACQUIRED_BEFORE(lock_order::pool);
+  std::FILE* out_ SG_PT_GUARDED_BY(mutex_);
 };
 
 // --- daemon -----------------------------------------------------------------

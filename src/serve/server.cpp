@@ -70,17 +70,18 @@ obs::Histogram& req_seconds() {
 struct RequestHandle::Shared {
   std::uint64_t id = 0;
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  RequestState state = RequestState::kQueued;
-  std::string error;
+  mutable Mutex mutex SG_ACQUIRED_AFTER(lock_order::serve)
+      SG_ACQUIRED_BEFORE(lock_order::pool);
+  mutable CondVar cv;
+  RequestState state SG_GUARDED_BY(mutex) = RequestState::kQueued;
+  std::string error SG_GUARDED_BY(mutex);
 
   std::atomic<bool> cancel{false};
   std::atomic<long> rows{0};
 
   void set_terminal(RequestState s, std::string message = "") {
     {
-      std::lock_guard lock(mutex);
+      MutexLock lock(mutex);
       state = s;
       error = std::move(message);
     }
@@ -93,15 +94,16 @@ std::uint64_t RequestHandle::id() const { return shared_->id; }
 void RequestHandle::cancel() { shared_->cancel.store(true, std::memory_order_relaxed); }
 
 RequestState RequestHandle::wait() const {
-  std::unique_lock lock(shared_->mutex);
-  shared_->cv.wait(lock, [&] {
-    return shared_->state != RequestState::kQueued && shared_->state != RequestState::kRunning;
-  });
+  MutexLock lock(shared_->mutex);
+  while (shared_->state == RequestState::kQueued ||
+         shared_->state == RequestState::kRunning) {
+    shared_->cv.wait(shared_->mutex);
+  }
   return shared_->state;
 }
 
 RequestState RequestHandle::state() const {
-  std::lock_guard lock(shared_->mutex);
+  MutexLock lock(shared_->mutex);
   return shared_->state;
 }
 
@@ -110,7 +112,7 @@ long RequestHandle::rows_streamed() const {
 }
 
 std::string RequestHandle::error() const {
-  std::lock_guard lock(shared_->mutex);
+  MutexLock lock(shared_->mutex);
   return shared_->error;
 }
 
@@ -169,38 +171,41 @@ Server::~Server() { stop(); }
 
 RequestHandle Server::submit(Request request, geo::RowSink& sink, OnFull on_full,
                              CompletionFn on_done) {
-  std::unique_lock lock(mutex_);
-  SG_CHECK(!stopping_, "Server::submit after stop");
-  if (queue_.size() >= options_.queue_limit) {
-    if (on_full == OnFull::kReject) {
-      rejected_counter().inc();
-      throw QueueFullError("serve queue full (" + std::to_string(queue_.size()) + " queued)");
-    }
-    // kBlock: park the caller until a worker frees a slot (or the server
-    // stops underneath us).
-    space_cv_.wait(lock, [&] { return queue_.size() < options_.queue_limit || stopping_; });
-    SG_CHECK(!stopping_, "Server stopped while submit was parked");
-  }
-
   RequestHandle handle;
-  handle.shared_ = std::make_shared<RequestHandle::Shared>();
-  handle.shared_->id = next_id_++;
+  {
+    MutexLock lock(mutex_);
+    SG_CHECK(!stopping_, "Server::submit after stop");
+    if (queue_.size() >= options_.queue_limit) {
+      if (on_full == OnFull::kReject) {
+        rejected_counter().inc();
+        throw QueueFullError("serve queue full (" + std::to_string(queue_.size()) + " queued)");
+      }
+      // kBlock: park the caller until a worker frees a slot (or the server
+      // stops underneath us). Explicit loop so the queue_/stopping_ reads
+      // stay visible to the thread safety analysis.
+      while (queue_.size() >= options_.queue_limit && !stopping_) {
+        space_cv_.wait(mutex_);
+      }
+      SG_CHECK(!stopping_, "Server stopped while submit was parked");
+    }
 
-  Queued item;
-  item.request = std::move(request);
-  item.sink = &sink;
-  item.shared = handle.shared_;
-  item.on_done = std::move(on_done);
-  queue_.push_back(std::move(item));
+    handle.shared_ = std::make_shared<RequestHandle::Shared>();
+    handle.shared_->id = next_id_++;
 
-  accepted_counter().inc();
-  const double depth = static_cast<double>(queue_.size());
-  depth_gauge().set(depth);
-  depth_peak().update(depth);
-  // In flight = queued + running. running_ is maintained under mutex_.
-  inflight_peak().update(depth + static_cast<double>(running_));
+    Queued item;
+    item.request = std::move(request);
+    item.sink = &sink;
+    item.shared = handle.shared_;
+    item.on_done = std::move(on_done);
+    queue_.push_back(std::move(item));
 
-  lock.unlock();
+    accepted_counter().inc();
+    const double depth = static_cast<double>(queue_.size());
+    depth_gauge().set(depth);
+    depth_peak().update(depth);
+    // In flight = queued + running. running_ is maintained under mutex_.
+    inflight_peak().update(depth + static_cast<double>(running_));
+  }
   queue_cv_.notify_one();
   return handle;
 }
@@ -209,8 +214,8 @@ void Server::worker_loop() {
   for (;;) {
     Queued item;
     {
-      std::unique_lock lock(mutex_);
-      queue_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping_) queue_cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -220,7 +225,7 @@ void Server::worker_loop() {
     space_cv_.notify_one();
     process(std::move(item));
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --running_;
     }
   }
@@ -237,7 +242,7 @@ void Server::process(Queued item) {
   // recycled across requests so steady-state turnover never reallocates.
   std::unique_ptr<nn::gemm::Workspace> workspace;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     workspace = std::move(workspace_pool_.back());
     workspace_pool_.pop_back();
   }
@@ -268,18 +273,31 @@ void Server::process(Queued item) {
 
   req_seconds().observe(watch.seconds());
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     workspace_pool_.push_back(std::move(workspace));
   }
 }
 
 void Server::stop() {
   std::deque<Queued> orphaned;
+  std::vector<std::future<void>> workers;
+  std::unique_ptr<ThreadPool> pool;
   {
-    std::lock_guard lock(mutex_);
-    if (stopping_) return;
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      // A concurrent stop() won the race and owns the join. Wait for it:
+      // every stop() call must return only once the workers are gone
+      // (previously a second caller could return while the first was
+      // still joining).
+      while (!stop_done_) queue_cv_.wait(mutex_);
+      return;
+    }
     stopping_ = true;
     orphaned.swap(queue_);
+    // Claim the workers and their pool under the lock; join outside it so
+    // parked submitters and workers can take mutex_ while we wait.
+    workers.swap(workers_);
+    pool = std::move(pool_);
     depth_gauge().set(0.0);
   }
   queue_cv_.notify_all();
@@ -292,10 +310,14 @@ void Server::stop() {
     }
     item.shared->set_terminal(RequestState::kCancelled, "server stopped");
   }
-  for (std::future<void>& worker : workers_) worker.wait();
-  workers_.clear();
-  pool_.reset();
-  for (std::unique_ptr<nn::gemm::Workspace>& ws : workspace_pool_) ws->release();
+  for (std::future<void>& worker : workers) worker.wait();
+  pool.reset();
+  {
+    MutexLock lock(mutex_);
+    for (std::unique_ptr<nn::gemm::Workspace>& ws : workspace_pool_) ws->release();
+    stop_done_ = true;
+  }
+  queue_cv_.notify_all();
 }
 
 }  // namespace spectra::serve

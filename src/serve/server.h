@@ -27,13 +27,11 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +39,8 @@
 #include "geo/city_tensor.h"
 #include "geo/strip_accumulator.h"
 #include "nn/gemm.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace spectra::serve {
@@ -154,24 +154,26 @@ class Server {
   std::shared_ptr<const core::SpectraGan> model_;
   ServerOptions options_;
 
-  std::mutex mutex_;
-  std::condition_variable queue_cv_;      // workers wait for work / stop
-  std::condition_variable space_cv_;      // kBlock submitters wait for space
-  std::deque<Queued> queue_;
-  std::size_t running_ = 0;  // requests currently on a worker
-  bool stopping_ = false;
-  std::uint64_t next_id_ = 1;
+  Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::serve) SG_ACQUIRED_BEFORE(lock_order::pool);
+  CondVar queue_cv_;  // workers wait for work / stop; late stop() callers wait for the join
+  CondVar space_cv_;  // kBlock submitters wait for space
+  std::deque<Queued> queue_ SG_GUARDED_BY(mutex_);
+  std::size_t running_ SG_GUARDED_BY(mutex_) = 0;  // requests currently on a worker
+  bool stopping_ SG_GUARDED_BY(mutex_) = false;
+  bool stop_done_ SG_GUARDED_BY(mutex_) = false;  // workers joined, pool torn down
+  std::uint64_t next_id_ SG_GUARDED_BY(mutex_) = 1;
 
   // Pooled per-request GEMM workspaces: at most `workers` live at once,
   // recycled so steady-state request turnover never reallocates packed
   // panels (the gemm.workspace_grows contract, now per request instead
   // of per thread).
-  std::vector<std::unique_ptr<nn::gemm::Workspace>> workspace_pool_;
+  std::vector<std::unique_ptr<nn::gemm::Workspace>> workspace_pool_ SG_GUARDED_BY(mutex_);
 
   // The workers: long-running tasks on a dedicated ThreadPool (the
-  // sanctioned threading primitive — DESIGN §6a).
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<std::future<void>> workers_;
+  // sanctioned threading primitive — DESIGN §6a). Written by the
+  // constructor, swapped out under mutex_ by the stop() that joins them.
+  std::unique_ptr<ThreadPool> pool_ SG_GUARDED_BY(mutex_);
+  std::vector<std::future<void>> workers_ SG_GUARDED_BY(mutex_);
 };
 
 }  // namespace spectra::serve

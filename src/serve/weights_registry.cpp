@@ -28,7 +28,7 @@ std::shared_ptr<const core::SpectraGan> WeightsRegistry::get_or_load(
     const core::SpectraGanConfig& config, const std::string& checkpoint_dir,
     std::uint64_t seed) {
   const std::string key = checkpoint_dir + "#" + std::to_string(seed);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 

@@ -11,10 +11,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/trainer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra::serve {
 
@@ -31,8 +32,11 @@ class WeightsRegistry {
                                                       std::uint64_t seed);
 
  private:
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const core::SpectraGan>> cache_;
+  // Held across the whole load so concurrent get_or_load calls for the
+  // same key share one load instead of racing two (serve layer: the load
+  // may fan out through the pool underneath).
+  Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::serve) SG_ACQUIRED_BEFORE(lock_order::pool);
+  std::map<std::string, std::shared_ptr<const core::SpectraGan>> cache_ SG_GUARDED_BY(mutex_);
 };
 
 }  // namespace spectra::serve

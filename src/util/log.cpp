@@ -1,21 +1,24 @@
 #include "util/log.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra {
 
 namespace {
 
-std::mutex& log_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+// Process-wide sink lock. Constant-initialized (std::mutex construction
+// is constexpr), so it is usable from any static initializer. log layer:
+// innermost — safe to take while holding any other lock in the hierarchy.
+Mutex g_log_mutex SG_ACQUIRED_AFTER(lock_order::log);
 
 // Monotonic seconds since the logger was first touched.
 double monotonic_seconds() {
@@ -70,8 +73,11 @@ LogLevel parse_env_level() {
   return LogLevel::kWarn;
 }
 
-LogLevel& level_storage() {
-  static LogLevel level = parse_env_level();
+std::atomic<LogLevel>& level_storage() {
+  // Initialized from the environment exactly once (magic static); atomic
+  // afterwards so a set_log_level racing a concurrent log_message is a
+  // benign relaxed read/write, not undefined behavior.
+  static std::atomic<LogLevel> level{parse_env_level()};
   return level;
 }
 
@@ -81,14 +87,16 @@ const bool g_level_env_init = (level_storage(), true);
 
 }  // namespace
 
-LogLevel log_level() { return level_storage(); }
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { level_storage() = level; }
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   const std::string line = format_line(level, message);
-  std::lock_guard lock(log_mutex());
+  MutexLock lock(g_log_mutex);
   std::cerr << line;
 }
 

@@ -1,0 +1,13 @@
+#include "util/mutex.h"
+
+namespace spectra::lock_order {
+
+// Sentinel tokens for the global lock hierarchy (see mutex.h). They exist
+// only as acquired_before/after anchors; nothing ever locks them.
+Mutex serve;
+Mutex pool;
+Mutex obs;
+Mutex fft_cache;
+Mutex log;
+
+}  // namespace spectra::lock_order

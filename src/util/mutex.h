@@ -1,0 +1,151 @@
+// Annotated synchronization primitives (DESIGN §6d). The standard library
+// primitives carry no capability attributes, so every lock in the repo is
+// one of these thin wrappers: same codegen, but clang's thread safety
+// analysis can see acquire/release and prove the locking discipline at
+// compile time. Raw std::mutex / std::shared_mutex / condition_variable
+// anywhere else in src/ is an sg_lint `lock-annotation` finding.
+//
+// The lock hierarchy lives here too: `spectra::lock_order` declares one
+// never-locked sentinel Mutex per layer, chained with SG_ACQUIRED_AFTER.
+// Every real mutex is ordered against its own layer's token (after) and
+// the next layer's token (before), so a cross-layer inversion anywhere in
+// the tree is a -Wthread-safety-beta error, not a TSan coin flip.
+//
+//   layer   serve → pool → obs → fft_cache → log   (outermost first)
+//
+// i.e. a thread holding an obs-layer lock may take an fft_cache- or
+// log-layer lock but never a serve- or pool-layer one.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace spectra {
+
+class CondVar;
+
+// Exclusive lock. Same layout and cost as std::mutex.
+class SG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SG_ACQUIRE() { raw_mutex_.lock(); }
+  void unlock() SG_RELEASE() { raw_mutex_.unlock(); }
+  bool try_lock() SG_TRY_ACQUIRE(true) { return raw_mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_mutex_;  // the one audited raw primitive (lock-annotation allowlist)
+};
+
+// Reader/writer lock. Same layout and cost as std::shared_mutex.
+class SG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SG_ACQUIRE() { raw_shared_mutex_.lock(); }
+  void unlock() SG_RELEASE() { raw_shared_mutex_.unlock(); }
+  void lock_shared() SG_ACQUIRE_SHARED() { raw_shared_mutex_.lock_shared(); }
+  void unlock_shared() SG_RELEASE_SHARED() { raw_shared_mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex raw_shared_mutex_;  // audited raw primitive (lock-annotation allowlist)
+};
+
+// RAII exclusive guard over Mutex (std::lock_guard shape).
+class SG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SG_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  // Adopts a mutex the caller already holds (try_lock success path).
+  MutexLock(Mutex& mutex, std::adopt_lock_t) SG_REQUIRES(mutex) : mutex_(mutex) {}
+  ~MutexLock() SG_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// RAII exclusive (writer) guard over SharedMutex.
+class SG_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mutex) SG_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~SharedMutexLock() SG_RELEASE() { mutex_.unlock(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// RAII shared (reader) guard over SharedMutex.
+class SG_SCOPED_CAPABILITY SharedReaderLock {
+ public:
+  explicit SharedReaderLock(SharedMutex& mutex) SG_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedReaderLock() SG_RELEASE_GENERIC() { mutex_.unlock_shared(); }
+  SharedReaderLock(const SharedReaderLock&) = delete;
+  SharedReaderLock& operator=(const SharedReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// Condition variable bound to Mutex. Waits require the mutex capability,
+// so the analysis checks the guarded state touched around the wait. Wraps
+// condition_variable_any (works over the raw mutex inside the wrapper);
+// the usual "wait only under the same mutex" contract applies.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) SG_REQUIRES(mutex) { raw_cv_.wait(mutex.raw_mutex_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& rel_time)
+      SG_REQUIRES(mutex) {
+    return raw_cv_.wait_for(mutex.raw_mutex_, rel_time);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mutex,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      SG_REQUIRES(mutex) {
+    return raw_cv_.wait_until(mutex.raw_mutex_, deadline);
+  }
+
+  void notify_one() noexcept { raw_cv_.notify_one(); }
+  void notify_all() noexcept { raw_cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any raw_cv_;  // audited raw primitive (lock-annotation allowlist)
+};
+
+// Lock-hierarchy sentinel tokens (never locked; defined in mutex.cpp).
+// Declared outermost-first so each acquired_after argument is already in
+// scope; the analysis' BeforeSet is transitive across the chain.
+namespace lock_order {
+extern Mutex serve;  // serve: Server, RequestHandle, WeightsRegistry, FrameWriter
+extern Mutex pool SG_ACQUIRED_AFTER(lock_order::serve);       // util/thread_pool
+extern Mutex obs SG_ACQUIRED_AFTER(lock_order::pool);         // metrics/profile/trace/...
+extern Mutex fft_cache SG_ACQUIRED_AFTER(lock_order::obs);    // dsp/fft plan caches
+extern Mutex log SG_ACQUIRED_AFTER(lock_order::fft_cache);    // util/log sink
+}  // namespace lock_order
+
+}  // namespace spectra

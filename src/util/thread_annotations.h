@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis macros (DESIGN §6d). Under clang with
+// -Wthread-safety these expand to capability attributes and the locking
+// discipline becomes a compile-time fact; under every other compiler they
+// expand to nothing, so annotations cost zero and never gate the build.
+//
+// Conventions:
+//   * Data members guarded by a lock carry SG_GUARDED_BY(mutex_) on the
+//     declaration; pointees guarded (not the pointer) use SG_PT_GUARDED_BY.
+//   * Functions that must be entered with a lock held use SG_REQUIRES /
+//     SG_REQUIRES_SHARED; the `_locked` naming suffix stays as the
+//     human-readable mirror of the attribute.
+//   * Every real mutex is placed in the global lock hierarchy with
+//     SG_ACQUIRED_AFTER / SG_ACQUIRED_BEFORE against the never-locked
+//     layer tokens in spectra::lock_order (util/mutex.h).
+//   * Condition-variable waits are written as explicit while loops, never
+//     predicate lambdas: the analysis does not look inside lambdas, so a
+//     predicate wait would silently lose checking of the guarded reads.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SG_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define SG_CAPABILITY(x) SG_THREAD_ANNOTATION(capability(x))
+#define SG_SCOPED_CAPABILITY SG_THREAD_ANNOTATION(scoped_lockable)
+
+#define SG_GUARDED_BY(x) SG_THREAD_ANNOTATION(guarded_by(x))
+#define SG_PT_GUARDED_BY(x) SG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-hierarchy edges (checked under -Wthread-safety-beta). The BeforeSet
+// is transitive, so ordering every mutex against its layer token orders it
+// against every mutex in every other layer.
+#define SG_ACQUIRED_BEFORE(...) SG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SG_ACQUIRED_AFTER(...) SG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define SG_REQUIRES(...) SG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SG_REQUIRES_SHARED(...) \
+  SG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define SG_ACQUIRE(...) SG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SG_ACQUIRE_SHARED(...) \
+  SG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SG_RELEASE(...) SG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SG_RELEASE_SHARED(...) \
+  SG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SG_RELEASE_GENERIC(...) \
+  SG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define SG_TRY_ACQUIRE(...) SG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SG_TRY_ACQUIRE_SHARED(...) \
+  SG_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define SG_EXCLUDES(...) SG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SG_ASSERT_CAPABILITY(x) SG_THREAD_ANNOTATION(assert_capability(x))
+#define SG_RETURN_CAPABILITY(x) SG_THREAD_ANNOTATION(lock_returned(x))
+
+#define SG_NO_THREAD_SAFETY_ANALYSIS SG_THREAD_ANNOTATION(no_thread_safety_analysis)

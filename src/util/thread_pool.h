@@ -15,14 +15,15 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace spectra {
 
@@ -63,11 +64,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Filled in the constructor, joined in the destructor; size() reads it
+  // concurrently but the vector never changes in between.
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::pool) SG_ACQUIRED_BEFORE(lock_order::obs);
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ SG_GUARDED_BY(mutex_);
+  bool stopping_ SG_GUARDED_BY(mutex_) = false;
 };
 
 // Effective thread count for the free parallel_for: initialised from

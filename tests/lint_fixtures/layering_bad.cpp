@@ -1,0 +1,12 @@
+// Fixture: MUST trigger [include-layering] — a back-edge up the module
+// DAG (util is rank 0; serve is rank 7) and a sibling edge at equal rank.
+// Linted as-if at src/util/fixture.cpp.
+
+#include "serve/server.h"  // rule: include-layering (back-edge)
+#include "util/error.h"    // same module: always fine
+
+namespace spectra::fixture {
+
+void poke();
+
+}  // namespace spectra::fixture

@@ -1,0 +1,17 @@
+// Clean twin of layering_bad.cpp: every cross-module edge points strictly
+// down the DAG, same-module and non-module includes are ignored.
+// Linted as-if at src/serve/fixture.cpp.
+
+#include <vector>
+
+#include "core/trainer.h"      // serve(7) -> core(5): down the DAG
+#include "obs/metrics.h"       // serve(7) -> obs(1): down the DAG
+#include "serve/protocol.h"    // same module
+#include "util/thread_pool.h"  // serve(7) -> pool(2) via the file override
+#include "generated/build_stamp.h"  // non-module path: out of scope
+
+namespace spectra::fixture {
+
+void poke();
+
+}  // namespace spectra::fixture

@@ -1,0 +1,22 @@
+// Fixture: MUST trigger [lock-annotation] — concurrency primitives the
+// clang thread safety analysis cannot see or order.
+// Linted as-if at src/serve/fixture.cpp.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/mutex.h"
+
+namespace spectra::fixture {
+
+class Queue {
+ public:
+  void push();
+
+ private:
+  std::mutex m_raw;             // rule: lock-annotation (raw primitive)
+  std::condition_variable cv_;  // rule: lock-annotation (raw primitive)
+  Mutex m_plain;                // rule: lock-annotation (no hierarchy position)
+};
+
+}  // namespace spectra::fixture

@@ -1,0 +1,27 @@
+// Clean twin of lock_bad.cpp: wrapped primitives placed in the lock
+// hierarchy (serve layer), guarded state, and a CondVar (which carries no
+// hierarchy position of its own — ordering lives on the mutex it waits on).
+// Linted as-if at src/serve/fixture.cpp.
+
+#include <deque>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace spectra::fixture {
+
+class Queue {
+ public:
+  void push();
+
+ private:
+  Mutex mutex_ SG_ACQUIRED_AFTER(lock_order::serve)
+      SG_ACQUIRED_BEFORE(lock_order::pool);
+  // Annotation on the continuation line is still part of the declaration.
+  SharedMutex snapshot_mutex_
+      SG_ACQUIRED_AFTER(lock_order::serve) SG_ACQUIRED_BEFORE(lock_order::pool);
+  CondVar cv_;
+  std::deque<int> items_ SG_GUARDED_BY(mutex_);
+};
+
+}  // namespace spectra::fixture

@@ -47,6 +47,12 @@ CASES = [
     ("annotation_bad.cpp", "src/core/fixture.cpp", [], 1,
      ["[annotation]", "justification"]),
     ("annotation_ok.cpp", "src/core/fixture.cpp", [], 0, []),
+    ("lock_bad.cpp", "src/serve/fixture.cpp", [], 1,
+     ["[lock-annotation]", "m_raw", "cv_", "m_plain"]),
+    ("lock_ok.cpp", "src/serve/fixture.cpp", [], 0, []),
+    ("layering_bad.cpp", "src/util/fixture.cpp", [], 1,
+     ["[include-layering]", "serve/server.h"]),
+    ("layering_ok.cpp", "src/serve/fixture.cpp", [], 0, []),
 ]
 
 

@@ -570,6 +570,33 @@ TEST(SamplerTest, StartStopLifecycle) {
   if (was_running) sampler.start(5);  // hand the env-started sampler back
 }
 
+// Pins the contract the thread safety annotations now make checkable:
+// stop() joins the tick thread, so once it returns the tick counter is
+// frozen — no straggler tick can land after stop(), no matter how the
+// stop races the 1 ms tick loop. Hammering the start/stop edge makes the
+// race window real instead of theoretical.
+TEST(SamplerTest, StopFreezesTickCounter) {
+  ResourceSampler& sampler = ResourceSampler::instance();
+  const bool was_running = sampler.running();  // CI may have env-started it
+  sampler.stop();
+
+  Counter& ticks = Registry::instance().counter("proc.sampler_ticks");
+  for (int round = 0; round < 5; ++round) {
+    sampler.start(1);
+    // Spin until at least one tick lands so the loop is really in flight
+    // (first tick fires immediately on start, so this is quick).
+    const std::uint64_t entered = ticks.value();
+    while (ticks.value() == entered) std::this_thread::yield();
+    sampler.stop();
+    const std::uint64_t frozen = ticks.value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(ticks.value(), frozen)
+        << "tick landed after stop() returned (round " << round << ")";
+  }
+
+  if (was_running) sampler.start(5);
+}
+
 // --- run manifest -------------------------------------------------------
 
 TEST(RunManifestTest, ManifestCarriesProvenanceAndExtras) {
